@@ -1,0 +1,60 @@
+// Ablation: robustness to lost messages (worker crash / packet drop),
+// quantifying the paper's "Reliability" and "Universality" bullets. A
+// wait-for-all scheme fails an iteration when *any* message is lost; CR
+// fails once more than s = r - 1 messages are lost; BCC and FR fail only
+// when every replica of some batch/block is lost — with n/B workers per
+// batch on average, that stays negligible far beyond the point where the
+// other schemes have collapsed.
+
+#include <cstdio>
+
+#include "simulate/simulate.hpp"
+#include "util/util.hpp"
+
+int main(int argc, char** argv) {
+  coupon::CliFlags flags;
+  flags.add_int("iterations", 300, "iterations per (scheme, drop) point");
+  if (!flags.parse(argc, argv)) {
+    return 1;
+  }
+  const auto iterations =
+      static_cast<std::size_t>(flags.get_int("iterations"));
+
+  auto scenario = coupon::simulate::ec2_scenario_one();
+  scenario.iterations = iterations;
+
+  using coupon::core::SchemeKind;
+  const std::vector<SchemeKind> schemes = {
+      SchemeKind::kUncoded, SchemeKind::kCyclicRepetition,
+      SchemeKind::kFractionalRepetition, SchemeKind::kBcc};
+
+  std::printf("Message-drop ablation — %s, %zu iterations per point, "
+              "r = %zu\n\n", scenario.name.c_str(), iterations,
+              scenario.load);
+  coupon::AsciiTable table({"drop prob", "uncoded failed", "CR failed",
+                            "FR failed", "BCC failed"});
+  for (double drop : {0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    std::vector<std::string> row = {coupon::format_double(drop, 2)};
+    for (SchemeKind kind : schemes) {
+      auto s = scenario;
+      s.cluster.drop_probability = drop;
+      const auto rows = coupon::simulate::run_scenario(s, {kind});
+      row.push_back(coupon::format_percent(
+          static_cast<double>(rows[0].failures) /
+              static_cast<double>(iterations),
+          1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nExpected shape: uncoded fails ~1-(1-p)^n (any loss is "
+              "fatal); CR fails once losses\nexceed s = r-1 = %zu of %zu; "
+              "FR and BCC fail only when a whole batch/block loses\nall "
+              "its replicas — with ~n/B = %zu replicas per batch, BCC "
+              "still recovers most\niterations at 40%% drop.\n",
+              scenario.load - 1, scenario.num_workers,
+              scenario.num_workers /
+                  ((scenario.num_units + scenario.load - 1) /
+                   scenario.load));
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Microbenchmarks for the linalg substrate (google-benchmark): the
+// kernels that dominate worker compute (dot/axpy/gemv for logistic
+// gradients) and master decode (QR least squares for CR).
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/linalg.hpp"
+#include "stats/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using coupon::linalg::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  coupon::stats::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) {
+    v = rng.normal();
+  }
+  return m;
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  coupon::stats::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = rng.normal();
+  }
+  return v;
+}
+
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vector(n, 1);
+  const auto y = random_vector(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coupon::linalg::dot(x, y));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 16);
+}
+BENCHMARK(BM_Dot)->Arg(1000)->Arg(8000)->Arg(64000);
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vector(n, 3);
+  auto y = random_vector(n, 4);
+  for (auto _ : state) {
+    coupon::linalg::axpy(0.5, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Axpy)->Arg(1000)->Arg(8000)->Arg(64000);
+
+void BM_Gemv(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cols = static_cast<std::size_t>(state.range(1));
+  const auto a = random_matrix(rows, cols, 5);
+  const auto x = random_vector(cols, 6);
+  std::vector<double> y(rows, 0.0);
+  for (auto _ : state) {
+    coupon::linalg::gemv(1.0, a, x, 0.0, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Gemv)->Args({100, 8000})->Args({1000, 1000});
+
+void BM_GemvParallel(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cols = static_cast<std::size_t>(state.range(1));
+  const auto a = random_matrix(rows, cols, 7);
+  const auto x = random_vector(cols, 8);
+  std::vector<double> y(rows, 0.0);
+  auto& pool = coupon::ThreadPool::shared();
+  for (auto _ : state) {
+    coupon::linalg::gemv_parallel(pool, 1.0, a, x, 0.0, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_GemvParallel)->Args({100, 8000})->Args({1000, 1000});
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 9);
+  const auto b = random_matrix(n, n, 10);
+  Matrix c(n, n, 0.0);
+  for (auto _ : state) {
+    coupon::linalg::gemm(1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 11);
+  const auto b = random_vector(n, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coupon::linalg::solve(a, b));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_QrLeastSquares(benchmark::State& state) {
+  // The CR decode shape: n rows (units), n - s columns (survivors).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto cols = n - n / 10;
+  const auto a = random_matrix(n, cols, 13);
+  const std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coupon::linalg::lstsq(a, b));
+  }
+}
+BENCHMARK(BM_QrLeastSquares)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

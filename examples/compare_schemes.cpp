@@ -1,0 +1,81 @@
+// Compares all five gradient-coding schemes on the same simulated
+// cluster: recovery threshold K, communication load L, per-phase times,
+// and total running time — an interactive version of the paper's Fig. 4
+// with the two extra schemes (simple randomized, fractional repetition)
+// included.
+//
+//   $ ./compare_schemes [--workers=50] [--units=50] [--load=10] ...
+
+#include <cstdio>
+
+#include "simulate/simulate.hpp"
+#include "util/util.hpp"
+
+int main(int argc, char** argv) {
+  coupon::CliFlags flags;
+  flags.add_int("workers", 50, "number of workers n")
+      .add_int("units", 50, "number of gradient units m")
+      .add_int("load", 10, "computational load r (units per worker)")
+      .add_int("iterations", 100, "GD iterations")
+      .add_double("transfer_ms", 3.2, "master ingress ms per gradient unit")
+      .add_double("compute_ms", 1.0, "deterministic compute ms per unit")
+      .add_double("straggle", 950.0, "compute straggle parameter mu")
+      .add_int("seed", 11, "PRNG seed");
+  if (!flags.parse(argc, argv)) {
+    return 1;
+  }
+
+  coupon::simulate::ScenarioConfig scenario;
+  scenario.name = "custom cluster";
+  scenario.num_workers = static_cast<std::size_t>(flags.get_int("workers"));
+  scenario.num_units = static_cast<std::size_t>(flags.get_int("units"));
+  scenario.load = static_cast<std::size_t>(flags.get_int("load"));
+  scenario.iterations =
+      static_cast<std::size_t>(flags.get_int("iterations"));
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  scenario.cluster.unit_transfer_seconds =
+      flags.get_double("transfer_ms") * 1e-3;
+  scenario.cluster.compute_shift = flags.get_double("compute_ms") * 1e-3;
+  scenario.cluster.compute_straggle = flags.get_double("straggle");
+
+  using coupon::core::SchemeKind;
+  std::vector<SchemeKind> kinds = {SchemeKind::kUncoded,
+                                   SchemeKind::kSimpleRandom,
+                                   SchemeKind::kCyclicRepetition,
+                                   SchemeKind::kBcc};
+  // FR needs r | n.
+  if (scenario.num_workers % scenario.load == 0 &&
+      scenario.num_units == scenario.num_workers) {
+    kinds.insert(kinds.begin() + 3, SchemeKind::kFractionalRepetition);
+  }
+
+  const auto rows = coupon::simulate::run_scenario(scenario, kinds);
+
+  std::printf("Scheme comparison — n = %zu workers, m = %zu units, "
+              "r = %zu, %zu iterations\n\n",
+              scenario.num_workers, scenario.num_units, scenario.load,
+              scenario.iterations);
+  coupon::AsciiTable table({"scheme", "K (mean)", "L (mean units)",
+                            "comm (s)", "comp (s)", "total (s)",
+                            "vs uncoded"});
+  table.set_align(0, coupon::Align::kLeft);
+  const auto& baseline = rows.front();
+  for (const auto& row : rows) {
+    table.add_row(
+        {row.scheme, coupon::format_double(row.recovery_threshold, 1),
+         coupon::format_double(row.mean_units, 1),
+         coupon::format_double(row.comm_time, 3),
+         coupon::format_double(row.compute_time, 3),
+         coupon::format_double(row.total_time, 3),
+         row.scheme == baseline.scheme
+             ? std::string("—")
+             : coupon::format_percent(
+                   coupon::simulate::speedup_fraction(row, baseline))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nReading the table: BCC pairs the near-minimal K of the "
+              "randomized scheme with the\nunit-sized messages of the "
+              "coded schemes — lowest L, hence lowest total time in\nthe "
+              "communication-dominated regime.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Demonstrates straggler mitigation on *real threads* with injected
+// slowdowns: trains the same model with the uncoded, cyclic repetition,
+// and BCC schemes while workers sleep shift-exponential delays, and
+// reports wall-clock time and recovery thresholds. A miniature live
+// version of the paper's EC2 experiment.
+//
+//   $ ./straggler_profile [--workers=24] [--shift_ms=2] [--straggle=0.5]
+
+#include <cstdio>
+
+#include "core/core.hpp"
+#include "data/data.hpp"
+#include "opt/opt.hpp"
+#include "runtime/runtime.hpp"
+#include "stats/rng.hpp"
+#include "util/util.hpp"
+
+int main(int argc, char** argv) {
+  coupon::CliFlags flags;
+  flags.add_int("workers", 24, "worker threads n (units m = n)")
+      .add_int("features", 200, "feature dimension p")
+      .add_int("load", 4, "computational load r (must divide n for FR)")
+      .add_int("iterations", 15, "GD iterations")
+      .add_double("shift_ms", 2.0, "deterministic delay per unit, ms")
+      .add_double("straggle", 0.5, "straggle mu (smaller = heavier tail)")
+      .add_int("seed", 21, "PRNG seed");
+  if (!flags.parse(argc, argv)) {
+    return 1;
+  }
+  const auto n = static_cast<std::size_t>(flags.get_int("workers"));
+  const auto p = static_cast<std::size_t>(flags.get_int("features"));
+  const auto r = static_cast<std::size_t>(flags.get_int("load"));
+  const auto iterations =
+      static_cast<std::size_t>(flags.get_int("iterations"));
+
+  coupon::stats::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  coupon::data::SyntheticConfig dconf;
+  dconf.num_features = p;
+  const auto problem = coupon::data::generate_logreg(n, dconf, rng);
+  coupon::core::PerExampleSource source(problem.dataset);
+
+  std::printf("Straggler profile: n = m = %zu, r = %zu, %zu iterations, "
+              "injected delay ~ %.1f ms/unit + Exp tail (mu = %.2f)\n\n",
+              n, r, iterations, flags.get_double("shift_ms"),
+              flags.get_double("straggle"));
+
+  coupon::AsciiTable table({"scheme", "wall time (s)", "K mean", "K max",
+                            "final loss"});
+  table.set_align(0, coupon::Align::kLeft);
+
+  using coupon::core::SchemeKind;
+  for (SchemeKind kind : {SchemeKind::kUncoded,
+                          SchemeKind::kCyclicRepetition, SchemeKind::kBcc}) {
+    coupon::stats::Rng scheme_rng(static_cast<std::uint64_t>(
+        flags.get_int("seed")));
+    coupon::core::SchemeConfig config;
+    config.num_workers = n;
+    config.num_units = n;
+    config.load = r;
+    config.bcc_seed_first_batches = true;
+    auto scheme = coupon::core::make_scheme(kind, config, scheme_rng);
+
+    coupon::runtime::ThreadCluster cluster(*scheme, source);
+    coupon::opt::NesterovGradient optimizer(
+        p, coupon::opt::LearningRateSchedule::constant(1.0));
+    coupon::runtime::TrainOptions options;
+    options.iterations = iterations;
+    options.straggler.enabled = true;
+    options.straggler.shift_ms_per_unit = flags.get_double("shift_ms");
+    options.straggler.straggle = flags.get_double("straggle");
+
+    const auto result = cluster.train(optimizer, options);
+    table.add_row(
+        {std::string(scheme->name()),
+         coupon::format_double(result.wall_seconds, 3),
+         coupon::format_double(result.workers_heard.mean(), 1),
+         coupon::format_double(result.workers_heard.max(), 0),
+         coupon::format_double(
+             coupon::opt::logistic_loss(problem.dataset, result.weights),
+             4)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nAll schemes compute the *same* exact gradient (equal final "
+      "loss). BCC hears far\nfewer workers than CR at the same load r. "
+      "Note that on this in-process cluster\nthere is no shared master "
+      "ingress link, so uncoded's r-times-lighter per-worker\nload can "
+      "still win on wall clock; the paper's EC2 regime (communication-"
+      "dominated,\nserialized master bandwidth) is reproduced by "
+      "compare_schemes and bench/fig4.\n");
+  return 0;
+}

@@ -1,0 +1,8 @@
+#pragma once
+
+/// \file comm.hpp
+/// Umbrella header for the comm module.
+
+#include "comm/message.hpp" // IWYU pragma: export
+#include "comm/network.hpp" // IWYU pragma: export
+#include "comm/queue.hpp"   // IWYU pragma: export

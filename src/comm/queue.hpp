@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file queue.hpp
+/// Multi-producer multi-consumer blocking queue — the delivery primitive
+/// behind each network endpoint's mailbox.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace coupon::comm {
+
+/// Unbounded MPMC FIFO with blocking pop and close semantics.
+///
+/// After `close()`, pushes are rejected and pops drain the remaining
+/// items, then return nullopt — the standard graceful-shutdown contract
+/// for worker loops.
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Enqueues an item. Returns false if the queue is closed.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Like pop() but gives up after `timeout`; nullopt on timeout or closed
+  /// and drained.
+  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout,
+                      [this] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Marks the queue closed and wakes all waiters.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace coupon::comm

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file bcc.hpp
+/// The paper's primary contribution: Batched Coupon's Collector (Sec. III).
+///
+/// Placement: the m units are partitioned into B = ceil(m/r) batches of r
+/// units; every worker *independently* picks one batch uniformly at random
+/// (decentralized, coordination-free). Encoding (Eq. 12): the worker sums
+/// the partial gradients of its batch into a single gradient-sized
+/// message tagged with the batch index. Collection: the master keeps the
+/// first message per distinct batch and is ready when all B batches are
+/// covered — the coupon-collector process, giving the expected recovery
+/// threshold K_BCC = B * H_B of Theorem 1.
+
+#include "core/scheme.hpp"
+#include "data/batching.hpp"
+
+namespace coupon::core {
+
+/// Batched Coupon's Collector scheme.
+class BccScheme final : public Scheme {
+ public:
+  /// Draws every worker's batch choice from `rng`. If
+  /// `seed_first_batches` is set (library extension, off per the paper),
+  /// workers 0..B-1 deterministically take batches 0..B-1 and only the
+  /// remaining workers sample randomly, guaranteeing per-iteration
+  /// coverage at the cost of the first B workers' placement no longer
+  /// being i.i.d.
+  BccScheme(std::size_t num_workers, std::size_t num_units, std::size_t load,
+            bool seed_first_batches, stats::Rng& rng);
+
+  SchemeKind kind() const override { return SchemeKind::kBcc; }
+
+  comm::Message encode(std::size_t worker, const UnitGradientSource& source,
+                       std::span<const double> w) const override;
+  double message_units(std::size_t) const override { return 1.0; }
+  std::vector<std::int64_t> message_meta(std::size_t worker) const override;
+  std::unique_ptr<Collector> make_collector() const override;
+
+  /// Eq. (2): ceil(m/r) * H_{ceil(m/r)}.
+  std::optional<double> expected_recovery_threshold() const override;
+
+  /// Number of batches B = ceil(m/r).
+  std::size_t num_batches() const { return partition_.num_batches(); }
+
+  /// The batch chosen by `worker` (sigma_i in the paper).
+  std::size_t batch_of_worker(std::size_t worker) const;
+
+  /// Probability that the n workers' random choices miss at least one
+  /// batch (coverage failure; union bound is tight for small B):
+  /// exactly computed by inclusion-exclusion.
+  static double coverage_failure_probability(std::size_t num_workers,
+                                             std::size_t num_batches);
+
+ private:
+  data::BatchPartition partition_;
+  std::vector<std::size_t> batch_choice_;  // per worker
+};
+
+}  // namespace coupon::core

@@ -1,0 +1,198 @@
+#include "core/cyclic_repetition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::core {
+
+namespace {
+
+/// Keeps the first n - s distinct workers' messages, then decodes via the
+/// scheme's coding matrix.
+class CrCollector final : public Collector {
+ public:
+  CrCollector(const CyclicRepetitionScheme& scheme, std::size_t needed)
+      : scheme_(scheme), needed_(needed) {}
+
+  bool offer(std::size_t worker, std::span<const std::int64_t> meta,
+             std::span<const double> payload) override {
+    (void)meta;
+    if (ready_) {
+      return false;
+    }
+    note_offer(1.0);
+    for (std::size_t w : workers_) {
+      if (w == worker) {
+        return false;  // duplicate delivery
+      }
+    }
+    workers_.push_back(worker);
+    if (!payload.empty()) {
+      payloads_.emplace_back(payload.begin(), payload.end());
+    }
+    ready_ = workers_.size() >= needed_;
+    return true;
+  }
+
+  bool ready() const override { return ready_; }
+
+  void decode_sum(std::span<double> out) const override {
+    COUPON_ASSERT_MSG(ready_, "decode before n - s workers reported");
+    COUPON_ASSERT_MSG(payloads_.size() == workers_.size(),
+                      "decode without payloads");
+    // Sort the kept set by worker index so the decode (coefficient solve
+    // and the combination order) is independent of arrival order.
+    std::vector<std::size_t> perm(workers_.size());
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+      perm[k] = k;
+    }
+    std::sort(perm.begin(), perm.end(), [this](std::size_t a, std::size_t b) {
+      return workers_[a] < workers_[b];
+    });
+    std::vector<std::size_t> sorted_workers(workers_.size());
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+      sorted_workers[k] = workers_[perm[k]];
+    }
+    auto coeffs = scheme_.decoding_coefficients(sorted_workers);
+    COUPON_ASSERT_MSG(coeffs.has_value(), "CR decode solve failed");
+    linalg::fill(out, 0.0);
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+      const auto& payload = payloads_[perm[k]];
+      COUPON_ASSERT(payload.size() == out.size());
+      linalg::axpy((*coeffs)[k], payload, out);
+    }
+  }
+
+ private:
+  const CyclicRepetitionScheme& scheme_;
+  std::size_t needed_;
+  bool ready_ = false;
+  std::vector<std::size_t> workers_;
+  std::vector<std::vector<double>> payloads_;
+};
+
+data::Placement cyclic_placement(std::size_t n, std::size_t r) {
+  data::Placement placement(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& g = placement.worker(i);
+    g.reserve(r);
+    for (std::size_t t = 0; t < r; ++t) {
+      g.push_back((i + t) % n);
+    }
+  }
+  return placement;
+}
+
+/// One attempt at Tandon et al.'s Algorithm 2. Returns nullopt when an
+/// inner s x s system is singular (probability-zero event; caller redraws).
+std::optional<linalg::Matrix> try_build_coding_matrix(std::size_t n,
+                                                      std::size_t r,
+                                                      stats::Rng& rng) {
+  const std::size_t s = r - 1;
+  if (s == 0) {
+    return linalg::Matrix::identity(n);  // r = 1 degenerates to uncoded
+  }
+  // H: s x n i.i.d. normal, then force every row sum to zero => H 1 = 0.
+  linalg::Matrix h(s, n);
+  for (std::size_t i = 0; i < s; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      h(i, j) = rng.normal();
+      row_sum += h(i, j);
+    }
+    h(i, n - 1) = -row_sum;
+  }
+
+  linalg::Matrix b(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Support: columns (i + t) mod n for t = 0..s; leading coefficient 1.
+    // Remaining coefficients x solve  H_sub x = -h_i  so that row_i(B) is
+    // in null(H).
+    linalg::Matrix h_sub(s, s);
+    std::vector<double> rhs(s);
+    for (std::size_t row = 0; row < s; ++row) {
+      rhs[row] = -h(row, i);
+      for (std::size_t t = 0; t < s; ++t) {
+        h_sub(row, t) = h(row, (i + 1 + t) % n);
+      }
+    }
+    auto x = linalg::solve(h_sub, rhs);
+    if (!x) {
+      return std::nullopt;
+    }
+    b(i, i) = 1.0;
+    for (std::size_t t = 0; t < s; ++t) {
+      b(i, (i + 1 + t) % n) = (*x)[t];
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+CyclicRepetitionScheme::CyclicRepetitionScheme(std::size_t num_workers,
+                                               std::size_t load,
+                                               stats::Rng& rng)
+    : Scheme(cyclic_placement(num_workers, load)), load_(load) {
+  COUPON_ASSERT_MSG(load >= 1 && load <= num_workers,
+                    "CR load must satisfy 1 <= r <= n");
+  constexpr int kMaxTries = 16;
+  for (int attempt = 0; attempt < kMaxTries; ++attempt) {
+    auto b = try_build_coding_matrix(num_workers, load, rng);
+    if (b) {
+      b_ = std::move(*b);
+      return;
+    }
+  }
+  COUPON_ASSERT_MSG(false, "CR coding matrix construction failed "
+                               << kMaxTries << " times (vanishing-probability "
+                               << "event); check the RNG");
+}
+
+comm::Message CyclicRepetitionScheme::encode(std::size_t worker,
+                                             const UnitGradientSource& source,
+                                             std::span<const double> w) const {
+  COUPON_ASSERT(worker < num_workers());
+  COUPON_ASSERT(source.num_units() == num_units());
+  const std::size_t dim = source.dim();
+  comm::Message msg;
+  msg.tag = comm::kTagGradient;
+  msg.meta = {static_cast<std::int64_t>(worker)};
+  msg.payload.assign(dim, 0.0);
+  std::vector<double> unit_grad(dim);
+  for (std::size_t unit : placement_.worker(worker)) {
+    source.unit_gradient(unit, w, unit_grad);
+    linalg::axpy(b_(worker, unit), unit_grad, msg.payload);
+  }
+  return msg;
+}
+
+std::unique_ptr<Collector> CyclicRepetitionScheme::make_collector() const {
+  return std::make_unique<CrCollector>(*this,
+                                       num_workers() - stragglers_tolerated());
+}
+
+std::optional<std::vector<double>> CyclicRepetitionScheme::decoding_coefficients(
+    std::span<const std::size_t> workers) const {
+  const std::size_t n = num_workers();
+  if (workers.size() < n - stragglers_tolerated()) {
+    return std::nullopt;
+  }
+  // Solve B_W^T a = 1: an n x |W| overdetermined system with an exact
+  // solution by construction (1 is in the row space of B_W).
+  linalg::Matrix bwt(n, workers.size());
+  for (std::size_t k = 0; k < workers.size(); ++k) {
+    COUPON_ASSERT(workers[k] < n);
+    for (std::size_t j = 0; j < n; ++j) {
+      bwt(j, k) = b_(workers[k], j);
+    }
+  }
+  std::vector<double> ones(n, 1.0);
+  return linalg::lstsq(bwt, ones);
+}
+
+}  // namespace coupon::core

@@ -1,0 +1,56 @@
+#include "core/gradient_source.hpp"
+
+#include "opt/least_squares.hpp"
+#include "opt/logistic.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::core {
+
+void PerExampleSource::unit_gradient(std::size_t unit,
+                                     std::span<const double> w,
+                                     std::span<double> out) const {
+  COUPON_ASSERT(unit < num_units());
+  opt::partial_gradient(dataset_, unit, w, out);
+}
+
+void PerExampleSource::accumulate_unit_gradient(std::size_t unit,
+                                                std::span<const double> w,
+                                                std::span<double> out) const {
+  COUPON_ASSERT(unit < num_units());
+  const std::size_t one[] = {unit};
+  opt::partial_gradient_sum(dataset_, one, w, out, /*accumulate=*/true);
+}
+
+void LeastSquaresExampleSource::unit_gradient(std::size_t unit,
+                                              std::span<const double> w,
+                                              std::span<double> out) const {
+  COUPON_ASSERT(unit < num_units());
+  const std::size_t one[] = {unit};
+  opt::squared_partial_gradient_sum(dataset_, one, w, out,
+                                    /*accumulate=*/false);
+}
+
+void LeastSquaresExampleSource::accumulate_unit_gradient(
+    std::size_t unit, std::span<const double> w, std::span<double> out) const {
+  COUPON_ASSERT(unit < num_units());
+  const std::size_t one[] = {unit};
+  opt::squared_partial_gradient_sum(dataset_, one, w, out,
+                                    /*accumulate=*/true);
+}
+
+void GroupedBatchSource::unit_gradient(std::size_t unit,
+                                       std::span<const double> w,
+                                       std::span<double> out) const {
+  COUPON_ASSERT(unit < num_units());
+  opt::partial_gradient_sum(dataset_, partition_.indices(unit), w, out,
+                            /*accumulate=*/false);
+}
+
+void GroupedBatchSource::accumulate_unit_gradient(
+    std::size_t unit, std::span<const double> w, std::span<double> out) const {
+  COUPON_ASSERT(unit < num_units());
+  opt::partial_gradient_sum(dataset_, partition_.indices(unit), w, out,
+                            /*accumulate=*/true);
+}
+
+}  // namespace coupon::core

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file gradient_source.hpp
+/// Abstraction over "the thing a scheme computes gradients of".
+///
+/// The schemes operate on `m` *units*. A unit is either a single training
+/// example, or — as in the paper's EC2 experiments, where n = 50 workers
+/// process m = 50 *data batches* of 100 points each — a "super example"
+/// (footnote 1 of the paper): a fixed group of underlying examples whose
+/// partial gradients are always summed together. `UnitGradientSource`
+/// hides that distinction from the schemes.
+
+#include <span>
+
+#include "data/batching.hpp"
+#include "data/dataset.hpp"
+
+namespace coupon::core {
+
+/// Supplies the sum of partial gradients of one unit at a query point.
+class UnitGradientSource {
+ public:
+  virtual ~UnitGradientSource() = default;
+
+  /// Number of units (the scheme-level "m").
+  virtual std::size_t num_units() const = 0;
+
+  /// Gradient dimension p.
+  virtual std::size_t dim() const = 0;
+
+  /// Total number of underlying training examples (the divisor of the
+  /// final mean gradient).
+  virtual std::size_t num_examples() const = 0;
+
+  /// out = sum of partial gradients of all examples in `unit`, evaluated
+  /// at `w`. `out.size()` must equal dim(). Overwrites `out`.
+  virtual void unit_gradient(std::size_t unit, std::span<const double> w,
+                             std::span<double> out) const = 0;
+
+  /// out += unit gradient (used by workers that sum several units).
+  virtual void accumulate_unit_gradient(std::size_t unit,
+                                        std::span<const double> w,
+                                        std::span<double> out) const = 0;
+};
+
+/// Units are single examples: unit j == example j.
+class PerExampleSource final : public UnitGradientSource {
+ public:
+  explicit PerExampleSource(const data::Dataset& dataset)
+      : dataset_(dataset) {}
+
+  std::size_t num_units() const override { return dataset_.num_examples(); }
+  std::size_t dim() const override { return dataset_.num_features(); }
+  std::size_t num_examples() const override {
+    return dataset_.num_examples();
+  }
+  void unit_gradient(std::size_t unit, std::span<const double> w,
+                     std::span<double> out) const override;
+  void accumulate_unit_gradient(std::size_t unit, std::span<const double> w,
+                                std::span<double> out) const override;
+
+ private:
+  const data::Dataset& dataset_;
+};
+
+/// Units are single examples under the squared-error loss
+/// (opt/least_squares.hpp) instead of the logistic loss — demonstrates
+/// that the scheme layer is loss-agnostic.
+class LeastSquaresExampleSource final : public UnitGradientSource {
+ public:
+  explicit LeastSquaresExampleSource(const data::Dataset& dataset)
+      : dataset_(dataset) {}
+
+  std::size_t num_units() const override { return dataset_.num_examples(); }
+  std::size_t dim() const override { return dataset_.num_features(); }
+  std::size_t num_examples() const override {
+    return dataset_.num_examples();
+  }
+  void unit_gradient(std::size_t unit, std::span<const double> w,
+                     std::span<double> out) const override;
+  void accumulate_unit_gradient(std::size_t unit, std::span<const double> w,
+                                std::span<double> out) const override;
+
+ private:
+  const data::Dataset& dataset_;
+};
+
+/// Units are batches of a BatchPartition ("super examples"). The last
+/// batch may hold fewer real examples; the paper's zero-padding is a
+/// no-op on gradient sums, so it needs no special handling here.
+class GroupedBatchSource final : public UnitGradientSource {
+ public:
+  GroupedBatchSource(const data::Dataset& dataset,
+                     const data::BatchPartition& partition)
+      : dataset_(dataset), partition_(partition) {}
+
+  std::size_t num_units() const override { return partition_.num_batches(); }
+  std::size_t dim() const override { return dataset_.num_features(); }
+  std::size_t num_examples() const override {
+    return dataset_.num_examples();
+  }
+  void unit_gradient(std::size_t unit, std::span<const double> w,
+                     std::span<double> out) const override;
+  void accumulate_unit_gradient(std::size_t unit, std::span<const double> w,
+                                std::span<double> out) const override;
+
+ private:
+  const data::Dataset& dataset_;
+  const data::BatchPartition& partition_;
+};
+
+}  // namespace coupon::core

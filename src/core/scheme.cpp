@@ -1,0 +1,65 @@
+#include "core/scheme.hpp"
+
+#include "core/bcc.hpp"
+#include "core/cyclic_repetition.hpp"
+#include "core/fractional_repetition.hpp"
+#include "core/simple_random.hpp"
+#include "core/uncoded.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::core {
+
+std::size_t Collector::decode_partial_sum(std::span<double>) const {
+  COUPON_ASSERT_MSG(false,
+                    "this collector does not support partial decoding");
+  return 0;
+}
+
+std::string_view scheme_kind_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kUncoded:
+      return "uncoded";
+    case SchemeKind::kBcc:
+      return "BCC";
+    case SchemeKind::kSimpleRandom:
+      return "simple randomized";
+    case SchemeKind::kCyclicRepetition:
+      return "cyclic repetition";
+    case SchemeKind::kFractionalRepetition:
+      return "fractional repetition";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind,
+                                    const SchemeConfig& config,
+                                    stats::Rng& rng) {
+  COUPON_ASSERT_MSG(config.num_workers > 0 && config.num_units > 0,
+                    "n=" << config.num_workers << " m=" << config.num_units);
+  switch (kind) {
+    case SchemeKind::kUncoded:
+      return std::make_unique<UncodedScheme>(config.num_workers,
+                                             config.num_units);
+    case SchemeKind::kBcc:
+      return std::make_unique<BccScheme>(config.num_workers, config.num_units,
+                                         config.load,
+                                         config.bcc_seed_first_batches, rng);
+    case SchemeKind::kSimpleRandom:
+      return std::make_unique<SimpleRandomScheme>(
+          config.num_workers, config.num_units, config.load, rng);
+    case SchemeKind::kCyclicRepetition:
+      COUPON_ASSERT_MSG(config.num_units == config.num_workers,
+                        "CR requires m == n (use super-examples)");
+      return std::make_unique<CyclicRepetitionScheme>(config.num_workers,
+                                                      config.load, rng);
+    case SchemeKind::kFractionalRepetition:
+      COUPON_ASSERT_MSG(config.num_units == config.num_workers,
+                        "FR requires m == n (use super-examples)");
+      return std::make_unique<FractionalRepetitionScheme>(config.num_workers,
+                                                          config.load);
+  }
+  COUPON_ASSERT_MSG(false, "unreachable scheme kind");
+  return nullptr;
+}
+
+}  // namespace coupon::core

@@ -1,0 +1,171 @@
+#pragma once
+
+/// \file scheme.hpp
+/// The gradient-coding scheme interface (Section II of the paper).
+///
+/// A scheme fixes, for `n` workers over `m` units with computational load
+/// `r`:
+///   * the data placement G_1, ..., G_n (drawn once, before training);
+///   * the worker-side encoding function phi_i (Eq. 9) — here `encode`;
+///   * the master-side decision of when enough messages have arrived and
+///     the decoding function psi (Eq. 10) — here a per-iteration
+///     `Collector`.
+///
+/// The combinatorial questions ("has the master heard enough?", "what are
+/// K and L this iteration?") are answered by the Collector from message
+/// *metadata* alone, so the discrete-event simulator can drive schemes
+/// without computing any real gradients; the threaded runtime additionally
+/// passes payloads and calls `decode_sum`.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "comm/message.hpp"
+#include "core/gradient_source.hpp"
+#include "data/placement.hpp"
+#include "stats/rng.hpp"
+
+namespace coupon::core {
+
+/// Per-iteration master-side message collector and decoder.
+///
+/// Usage: call `offer` for every arriving message in arrival order until
+/// `ready()` flips to true (`offer` after ready() is allowed and ignored).
+/// `workers_heard()` is |W| (recovery-threshold accounting, Definition 2)
+/// and `units_received()` the aggregated normalized message size
+/// (communication load, Definition 3).
+class Collector {
+ public:
+  virtual ~Collector() = default;
+
+  /// Offers the message of `worker`. `meta`/`payload` follow the owning
+  /// scheme's encoding; `payload` may be empty when only combinatorial
+  /// tracking is needed (simulation). Returns true if the message was
+  /// *kept* (contributes to the decode), false if discarded as redundant.
+  virtual bool offer(std::size_t worker, std::span<const std::int64_t> meta,
+                     std::span<const double> payload) = 0;
+
+  /// True once the full gradient is recoverable from the kept messages.
+  virtual bool ready() const = 0;
+
+  /// Number of distinct workers offered so far (|W| of Definition 2).
+  std::size_t workers_heard() const { return workers_heard_; }
+
+  /// Aggregated message size in gradient units (L of Definition 3).
+  double units_received() const { return units_received_; }
+
+  /// Writes the decoded *sum* of all unit gradients into `grad_sum`
+  /// (size p). The caller divides by the number of underlying examples to
+  /// obtain the mean gradient of Eq. (1). Requires ready() and that all
+  /// kept offers carried payloads.
+  virtual void decode_sum(std::span<double> grad_sum) const = 0;
+
+  /// True when this collector can also decode a *partial* gradient from
+  /// whatever it has collected so far (coverage-style schemes: BCC, FR,
+  /// uncoded, simple randomized). False for algebraically coded schemes
+  /// (CR), which are all-or-nothing.
+  virtual bool supports_partial_decode() const { return false; }
+
+  /// Writes the sum of the unit gradients covered *so far* into
+  /// `grad_sum` and returns the number of units covered (possibly 0, in
+  /// which case `grad_sum` is zeroed). Valid before ready(); used by the
+  /// runtime's ignore-stragglers fallback, which rescales by
+  /// covered/total to approximate the mean gradient. Requires
+  /// supports_partial_decode() and payloads on kept offers.
+  virtual std::size_t decode_partial_sum(std::span<double> grad_sum) const;
+
+ protected:
+  void note_offer(double units) {
+    ++workers_heard_;
+    units_received_ += units;
+  }
+
+ private:
+  std::size_t workers_heard_ = 0;
+  double units_received_ = 0.0;
+};
+
+/// Identifies the built-in schemes.
+enum class SchemeKind {
+  kUncoded,
+  kBcc,
+  kSimpleRandom,
+  kCyclicRepetition,
+  kFractionalRepetition,
+};
+
+/// Human-readable scheme name ("uncoded", "BCC", ...).
+std::string_view scheme_kind_name(SchemeKind kind);
+
+/// A configured gradient-coding scheme instance.
+///
+/// Construction (via `make_scheme`) draws the placement; the instance is
+/// immutable afterwards, so one scheme object can serve many concurrent
+/// iterations/collectors.
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual SchemeKind kind() const = 0;
+  std::string_view name() const { return scheme_kind_name(kind()); }
+
+  std::size_t num_workers() const { return placement_.num_workers(); }
+  std::size_t num_units() const { return placement_.num_examples(); }
+
+  /// Definition 1's computational load of the realized placement.
+  std::size_t computational_load() const {
+    return placement_.computational_load();
+  }
+
+  /// The realized data placement G_1..G_n over units.
+  const data::Placement& placement() const { return placement_; }
+
+  /// Worker-side encoding phi_i: computes worker `i`'s message at `w`.
+  /// The returned message's `meta`/`payload` are what `Collector::offer`
+  /// expects; `source.num_units()` must equal num_units().
+  virtual comm::Message encode(std::size_t worker,
+                               const UnitGradientSource& source,
+                               std::span<const double> w) const = 0;
+
+  /// Size, in gradient units, of worker `i`'s message (used by the
+  /// simulator for transfer-time modelling without encoding).
+  virtual double message_units(std::size_t worker) const = 0;
+
+  /// The metadata worker `i`'s message would carry (identical to
+  /// `encode(i, ...).meta`). Lets the discrete-event simulator feed
+  /// collectors without computing any gradients.
+  virtual std::vector<std::int64_t> message_meta(std::size_t worker) const = 0;
+
+  /// Fresh per-iteration collector.
+  virtual std::unique_ptr<Collector> make_collector() const = 0;
+
+  /// Closed-form expected recovery threshold E|W| where known
+  /// (Eq. 2 for BCC, n for uncoded, m - r + 1 for CR); nullopt when only
+  /// empirical estimates exist (simple randomized, FR).
+  virtual std::optional<double> expected_recovery_threshold() const = 0;
+
+ protected:
+  explicit Scheme(data::Placement placement)
+      : placement_(std::move(placement)) {}
+
+  data::Placement placement_;
+};
+
+/// Options shared by `make_scheme`.
+struct SchemeConfig {
+  std::size_t num_workers = 0;  ///< n
+  std::size_t num_units = 0;    ///< m (units / super-examples)
+  std::size_t load = 0;         ///< r, in units per worker
+  /// BCC only: deterministic coverage aid (library extension, see
+  /// DESIGN.md §5.3). Default matches the paper (fully random choice).
+  bool bcc_seed_first_batches = false;
+};
+
+/// Builds a configured scheme, drawing any randomness from `rng`.
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind, const SchemeConfig& config,
+                                    stats::Rng& rng);
+
+}  // namespace coupon::core

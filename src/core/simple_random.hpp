@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file simple_random.hpp
+/// The simple randomized baseline (Prior Art, Eqs. 5–6): each worker
+/// selects r of the m units uniformly at random (without replacement,
+/// independently across workers) and communicates every partial gradient
+/// *individually* to the master. Coverage of all m units takes
+/// K ≈ (m/r) log m workers on average — near optimal — but each worker
+/// ships r gradient-sized messages, so the communication load blows up to
+/// L ≈ m log m. BCC keeps the first property and fixes the second.
+
+#include "core/scheme.hpp"
+
+namespace coupon::core {
+
+/// Per-example random placement with individual (unencoded) messages.
+class SimpleRandomScheme final : public Scheme {
+ public:
+  SimpleRandomScheme(std::size_t num_workers, std::size_t num_units,
+                     std::size_t load, stats::Rng& rng);
+
+  SchemeKind kind() const override { return SchemeKind::kSimpleRandom; }
+
+  /// The message concatenates the worker's r per-unit gradients in the
+  /// order of `meta` (which lists the unit indices); payload size is
+  /// r * p doubles — r gradient units.
+  comm::Message encode(std::size_t worker, const UnitGradientSource& source,
+                       std::span<const double> w) const override;
+
+  double message_units(std::size_t worker) const override {
+    return static_cast<double>(placement_.worker(worker).size());
+  }
+
+  std::vector<std::int64_t> message_meta(std::size_t worker) const override;
+
+  std::unique_ptr<Collector> make_collector() const override;
+
+  /// No convenient closed form (coverage with group draws); estimated
+  /// empirically, ≈ (m/r) log m (Eq. 5).
+  std::optional<double> expected_recovery_threshold() const override {
+    return std::nullopt;
+  }
+
+ private:
+  std::size_t load_;
+};
+
+}  // namespace coupon::core

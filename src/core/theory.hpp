@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file theory.hpp
+/// Closed-form performance characterizations from the paper, plus
+/// Monte-Carlo estimators for the quantities without closed forms.
+///
+/// These functions generate the analytic curves of Fig. 2, the bounds of
+/// Theorem 1 and Lemma 2, and serve as oracles for the property tests
+/// (empirical recovery thresholds must match the formulas).
+
+#include <cstddef>
+
+#include "stats/rng.hpp"
+
+namespace coupon::core::theory {
+
+/// H_t = sum_{k=1}^{t} 1/k (H_0 = 0). Exact summation.
+double harmonic(std::size_t t);
+
+/// Asymptotic H_t ~ ln t + gamma + 1/(2t); used in Remark 1 comparisons.
+double harmonic_approx(double t);
+
+/// Number of BCC batches B = ceil(m/r).
+std::size_t bcc_batches(std::size_t m, std::size_t r);
+
+/// Eq. (2): K_BCC(r) = ceil(m/r) * H_{ceil(m/r)}.
+double k_bcc(std::size_t m, std::size_t r);
+
+/// Theorem 1 lower bound: K*(r) >= m/r (also the L*(r) lower bound).
+double k_lower_bound(std::size_t m, std::size_t r);
+
+/// Eq. (7): K_CR = K_RS = K_CM = m - r + 1 (worst-case coded schemes).
+double k_cyclic_repetition(std::size_t m, std::size_t r);
+
+/// Eq. (5): K_random ≈ (m/r) log m for the simple randomized scheme.
+double k_simple_random_approx(std::size_t m, std::size_t r);
+
+/// Eq. (6): L_random ≈ m log m.
+double l_simple_random_approx(std::size_t m);
+
+/// L_BCC = K_BCC (each surviving worker ships one gradient unit, Eq. 14).
+double l_bcc(std::size_t m, std::size_t r);
+
+/// Classic coupon collector: expected draws to collect all `types`
+/// coupons = types * H_types.
+double coupon_expected_draws(std::size_t types);
+
+/// Variance of the coupon-collector draw count M for `types` coupons:
+/// M is a sum of independent geometrics with success probabilities
+/// p_k = (N-k+1)/N, so Var[M] = sum_k (1-p_k)/p_k^2. Quantifies the
+/// iteration-to-iteration spread of BCC's realized recovery threshold.
+double coupon_draws_variance(std::size_t types);
+
+/// Lemma 2 (Thm 1.23 of Auger & Doerr): with M the number of coupons
+/// drawn until all m types are seen, Pr(M >= (1+eps) m log m) <= m^{-eps}.
+double lemma2_tail_bound(std::size_t m, double eps);
+
+/// Expected max of n i.i.d. shifted exponentials with shift a*load and
+/// rate mu/load: a*load + (load/mu) * H_n. Appears as the waiting time of
+/// wait-for-all schemes and in step (c) of the Theorem 2 proof.
+double expected_max_shifted_exponential(double a, double mu, double load,
+                                        std::size_t n);
+
+// --- Monte-Carlo estimators -----------------------------------------------
+
+/// Mean draws (with replacement, one coupon per draw) to collect all
+/// `types` coupons, over `trials` runs.
+double mc_coupon_draws(std::size_t types, std::size_t trials,
+                       stats::Rng& rng);
+
+/// Mean number of workers heard until all m units are covered when each
+/// worker holds r uniformly random distinct units (simple randomized
+/// scheme; workers drawn i.i.d., i.e. with replacement across workers).
+double mc_simple_random_threshold(std::size_t m, std::size_t r,
+                                  std::size_t trials, stats::Rng& rng);
+
+/// Mean number of workers heard (drawn uniformly *without* replacement
+/// from the n workers) until all n/r FR blocks are covered.
+double mc_fractional_repetition_threshold(std::size_t n, std::size_t r,
+                                          std::size_t trials,
+                                          stats::Rng& rng);
+
+/// One draw of the number of coupons needed to collect all `types`
+/// (used by the Lemma 2 tail bench).
+std::size_t coupon_draws_once(std::size_t types, stats::Rng& rng);
+
+}  // namespace coupon::core::theory

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file uncoded.hpp
+/// The uncoded baseline (Section III-C): the m units are split disjointly
+/// and evenly across the n workers, each worker ships the sum of its
+/// partial gradients, and the master must wait for *all* workers —
+/// recovery threshold K = n, maximally exposed to stragglers.
+
+#include "core/scheme.hpp"
+
+namespace coupon::core {
+
+/// Disjoint even split, wait-for-all.
+class UncodedScheme final : public Scheme {
+ public:
+  /// Splits units contiguously; worker i gets either floor(m/n) or
+  /// ceil(m/n) units. Requires m >= n >= 1 (every worker gets work; the
+  /// paper's setting is m = n units via super-examples).
+  UncodedScheme(std::size_t num_workers, std::size_t num_units);
+
+  SchemeKind kind() const override { return SchemeKind::kUncoded; }
+
+  comm::Message encode(std::size_t worker, const UnitGradientSource& source,
+                       std::span<const double> w) const override;
+  double message_units(std::size_t) const override { return 1.0; }
+  std::vector<std::int64_t> message_meta(std::size_t worker) const override {
+    return {static_cast<std::int64_t>(worker)};
+  }
+  std::unique_ptr<Collector> make_collector() const override;
+
+  /// Exactly n: the master waits for everyone.
+  std::optional<double> expected_recovery_threshold() const override {
+    return static_cast<double>(num_workers());
+  }
+};
+
+}  // namespace coupon::core

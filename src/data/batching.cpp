@@ -1,0 +1,37 @@
+#include "data/batching.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace coupon::data {
+
+BatchPartition::BatchPartition(std::size_t num_examples,
+                               std::size_t batch_size)
+    : num_examples_(num_examples), batch_size_(batch_size) {
+  COUPON_ASSERT_MSG(num_examples > 0 && batch_size > 0,
+                    "m=" << num_examples << " r=" << batch_size);
+  num_batches_ = (num_examples + batch_size - 1) / batch_size;
+  flat_.resize(num_examples);
+  for (std::size_t j = 0; j < num_examples; ++j) {
+    flat_[j] = j;
+  }
+}
+
+std::span<const std::size_t> BatchPartition::indices(std::size_t b) const {
+  COUPON_ASSERT(b < num_batches_);
+  const std::size_t begin = b * batch_size_;
+  const std::size_t end = std::min(begin + batch_size_, num_examples_);
+  return {flat_.data() + begin, end - begin};
+}
+
+std::size_t BatchPartition::actual_size(std::size_t b) const {
+  return indices(b).size();
+}
+
+std::size_t BatchPartition::batch_of(std::size_t j) const {
+  COUPON_ASSERT(j < num_examples_);
+  return j / batch_size_;
+}
+
+}  // namespace coupon::data

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file batching.hpp
+/// Even partition of example indices into batches of size r — the
+/// "batching" half of Batched Coupon's Collector (Fig. 3 of the paper).
+///
+/// The paper zero-pads the last batch to exactly r examples; because
+/// workers transmit the *sum* of per-example gradients and a zero-padded
+/// example contributes a zero gradient, we represent the last batch simply
+/// by its (possibly fewer) real indices. The tests assert this equivalence.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace coupon::data {
+
+/// Immutable partition of {0, ..., m-1} into ceil(m/r) contiguous batches.
+class BatchPartition {
+ public:
+  /// Partitions `num_examples` indices into batches of nominal size
+  /// `batch_size` (the computational load r). Requires both > 0.
+  BatchPartition(std::size_t num_examples, std::size_t batch_size);
+
+  std::size_t num_examples() const { return num_examples_; }
+  /// Nominal batch size r.
+  std::size_t batch_size() const { return batch_size_; }
+  /// ceil(m / r).
+  std::size_t num_batches() const { return num_batches_; }
+
+  /// Index range of batch `b` as [begin, end) over example indices.
+  std::span<const std::size_t> indices(std::size_t b) const;
+
+  /// Number of real (non-padded) examples in batch `b`.
+  std::size_t actual_size(std::size_t b) const;
+
+  /// The batch containing example `j`.
+  std::size_t batch_of(std::size_t j) const;
+
+ private:
+  std::size_t num_examples_;
+  std::size_t batch_size_;
+  std::size_t num_batches_;
+  std::vector<std::size_t> flat_;  // 0..m-1; batch b = slice of this
+};
+
+}  // namespace coupon::data

@@ -1,0 +1,99 @@
+#include "data/io.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace coupon::data {
+
+namespace {
+
+/// Parses one CSV line of doubles; returns false on any bad field.
+bool parse_line(const std::string& line, std::vector<double>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    std::size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = line.size();
+    }
+    const std::string field = line.substr(pos, comma - pos);
+    if (field.empty()) {
+      return false;
+    }
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(field, &consumed);
+      // Reject trailing garbage like "1.5abc" (allow trailing spaces).
+      for (std::size_t k = consumed; k < field.size(); ++k) {
+        if (field[k] != ' ' && field[k] != '\r') {
+          return false;
+        }
+      }
+      out.push_back(value);
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (comma == line.size()) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+void save_csv(std::ostream& os, const Dataset& dataset) {
+  char buf[64];
+  for (std::size_t j = 0; j < dataset.num_examples(); ++j) {
+    std::snprintf(buf, sizeof(buf), "%.17g", dataset.y[j]);
+    os << buf;
+    for (double v : dataset.x.row(j)) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      os << ',' << buf;
+    }
+    os << '\n';
+  }
+}
+
+std::optional<Dataset> load_csv(std::istream& is) {
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  std::vector<double> fields;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (!parse_line(line, fields)) {
+      return std::nullopt;
+    }
+    if (fields.size() < 2) {
+      return std::nullopt;  // need a label and at least one feature
+    }
+    if (!rows.empty() && fields.size() != rows.front().size()) {
+      return std::nullopt;  // ragged rows
+    }
+    rows.push_back(fields);
+  }
+  if (rows.empty()) {
+    return std::nullopt;
+  }
+  const std::size_t p = rows.front().size() - 1;
+  Dataset dataset;
+  dataset.x = linalg::Matrix(rows.size(), p);
+  dataset.y.resize(rows.size());
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    dataset.y[j] = rows[j][0];
+    auto dst = dataset.x.row(j);
+    for (std::size_t c = 0; c < p; ++c) {
+      dst[c] = rows[j][c + 1];
+    }
+  }
+  return dataset;
+}
+
+}  // namespace coupon::data

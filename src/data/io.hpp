@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file io.hpp
+/// Dataset import/export in CSV form, so users can train on their own
+/// data instead of the synthetic generators.
+///
+/// Format: one example per line, label first, then the feature values:
+///     y,x_1,x_2,...,x_p
+/// No header. All rows must have the same number of columns; labels are
+/// arbitrary reals (use {-1, +1} for the logistic loss).
+
+#include <iosfwd>
+#include <optional>
+
+#include "data/dataset.hpp"
+
+namespace coupon::data {
+
+/// Writes `dataset` as CSV rows (label first).
+void save_csv(std::ostream& os, const Dataset& dataset);
+
+/// Parses a CSV stream produced by `save_csv` (or any numeric CSV with
+/// the label in the first column). Returns nullopt on any malformed
+/// input: empty stream, non-numeric field, or ragged rows.
+std::optional<Dataset> load_csv(std::istream& is);
+
+}  // namespace coupon::data

@@ -1,0 +1,47 @@
+#include "data/placement.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace coupon::data {
+
+std::size_t Placement::computational_load() const {
+  std::size_t r = 0;
+  for (const auto& g : assignments_) {
+    r = std::max(r, g.size());
+  }
+  return r;
+}
+
+std::size_t Placement::total_assigned() const {
+  std::size_t total = 0;
+  for (const auto& g : assignments_) {
+    total += g.size();
+  }
+  return total;
+}
+
+bool Placement::covers_all_examples() const {
+  std::vector<bool> seen(num_examples_, false);
+  for (const auto& g : assignments_) {
+    for (std::size_t j : g) {
+      COUPON_ASSERT(j < num_examples_);
+      seen[j] = true;
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+std::vector<std::size_t> Placement::example_multiplicities() const {
+  std::vector<std::size_t> mult(num_examples_, 0);
+  for (const auto& g : assignments_) {
+    for (std::size_t j : g) {
+      COUPON_ASSERT(j < num_examples_);
+      ++mult[j];
+    }
+  }
+  return mult;
+}
+
+}  // namespace coupon::data

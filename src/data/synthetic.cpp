@@ -1,0 +1,67 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace coupon::data {
+
+SyntheticProblem generate_logreg(std::size_t num_examples,
+                                 const SyntheticConfig& config,
+                                 stats::Rng& rng) {
+  const std::size_t p = config.num_features;
+  COUPON_ASSERT(p > 0 && num_examples > 0);
+
+  SyntheticProblem problem;
+  problem.w_star.resize(p);
+  for (double& w : problem.w_star) {
+    w = rng.bernoulli(0.5) ? 1.0 : -1.0;
+  }
+
+  const double scale = config.separation / static_cast<double>(p);
+  problem.dataset.x = linalg::Matrix(num_examples, p);
+  problem.dataset.y.resize(num_examples);
+
+  for (std::size_t j = 0; j < num_examples; ++j) {
+    // Mixture component: mu1 = +scale*w* with prob 1/2, else mu2 = -scale*w*.
+    const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    auto row = problem.dataset.x.row(j);
+    double xtw = 0.0;
+    for (std::size_t c = 0; c < p; ++c) {
+      const double mean = sign * scale * problem.w_star[c];
+      row[c] = rng.normal(mean, 1.0);
+      xtw += row[c] * problem.w_star[c];
+    }
+    // kappa = 1 / (exp(x^T w*) + 1); y = +1 w.p. kappa, else -1.
+    const double kappa = 1.0 / (std::exp(xtw) + 1.0);
+    problem.dataset.y[j] = rng.bernoulli(kappa) ? 1.0 : -1.0;
+  }
+  return problem;
+}
+
+SyntheticProblem generate_linreg(std::size_t num_examples,
+                                 const SyntheticConfig& config,
+                                 double noise_stddev, stats::Rng& rng) {
+  const std::size_t p = config.num_features;
+  COUPON_ASSERT(p > 0 && num_examples > 0 && noise_stddev >= 0.0);
+
+  SyntheticProblem problem;
+  problem.w_star.resize(p);
+  for (double& w : problem.w_star) {
+    w = rng.bernoulli(0.5) ? 1.0 : -1.0;
+  }
+  problem.dataset.x = linalg::Matrix(num_examples, p);
+  problem.dataset.y.resize(num_examples);
+  for (std::size_t j = 0; j < num_examples; ++j) {
+    auto row = problem.dataset.x.row(j);
+    double xtw = 0.0;
+    for (std::size_t c = 0; c < p; ++c) {
+      row[c] = rng.normal();
+      xtw += row[c] * problem.w_star[c];
+    }
+    problem.dataset.y[j] = xtw + rng.normal(0.0, noise_stddev);
+  }
+  return problem;
+}
+
+}  // namespace coupon::data

@@ -1,0 +1,55 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace coupon::linalg {
+
+void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
+          Matrix& c) {
+  COUPON_ASSERT(a.cols() == b.rows());
+  COUPON_ASSERT(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+
+  if (beta != 1.0) {
+    for (double& v : c.data()) {
+      v *= beta;
+    }
+  }
+
+  // i-k-j loop order with 64x64x64 blocking: the inner j-loop streams one
+  // row of B and one row of C, which is the cache-friendly order for
+  // row-major storage.
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t ii = 0; ii < m; ii += kBlock) {
+    const std::size_t i_hi = std::min(ii + kBlock, m);
+    for (std::size_t kk = 0; kk < k; kk += kBlock) {
+      const std::size_t k_hi = std::min(kk + kBlock, k);
+      for (std::size_t jj = 0; jj < n; jj += kBlock) {
+        const std::size_t j_hi = std::min(jj + kBlock, n);
+        for (std::size_t i = ii; i < i_hi; ++i) {
+          for (std::size_t l = kk; l < k_hi; ++l) {
+            const double aval = alpha * a(i, l);
+            if (aval == 0.0) {
+              continue;
+            }
+            for (std::size_t j = jj; j < j_hi; ++j) {
+              c(i, j) += aval * b(l, j);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols(), 0.0);
+  gemm(1.0, a, b, 0.0, c);
+  return c;
+}
+
+}  // namespace coupon::linalg

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file gemm.hpp
+/// BLAS-3 matrix-matrix multiply (blocked, serial).
+///
+/// Used by the dense solvers' tests and the micro benchmarks; the training
+/// path itself is GEMV-bound so GEMM stays deliberately simple.
+
+#include "linalg/matrix.hpp"
+
+namespace coupon::linalg {
+
+/// C = alpha * A * B + beta * C. Requires A.cols() == B.rows(),
+/// C.rows() == A.rows(), C.cols() == B.cols().
+void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
+          Matrix& c);
+
+/// Convenience: returns A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+}  // namespace coupon::linalg

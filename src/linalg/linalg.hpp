@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file linalg.hpp
+/// Umbrella header for the linalg module.
+
+#include "linalg/gemm.hpp"       // IWYU pragma: export
+#include "linalg/gemv.hpp"       // IWYU pragma: export
+#include "linalg/matrix.hpp"     // IWYU pragma: export
+#include "linalg/solve.hpp"      // IWYU pragma: export
+#include "linalg/vector_ops.hpp" // IWYU pragma: export

@@ -1,0 +1,270 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "linalg/gemv.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::linalg {
+
+namespace {
+constexpr double kPivotTol = 1e-12;
+}
+
+LuFactors lu_factor(Matrix a) {
+  COUPON_ASSERT(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  LuFactors f{std::move(a), std::vector<std::size_t>(n), false};
+  Matrix& m = f.lu;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t p = k;
+    double best = std::abs(m(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(m(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    f.piv[k] = p;
+    if (best < kPivotTol) {
+      f.singular = true;
+      continue;
+    }
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(m(k, c), m(p, c));
+      }
+    }
+    const double pivot = m(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double l = m(i, k) / pivot;
+      m(i, k) = l;
+      if (l == 0.0) {
+        continue;
+      }
+      for (std::size_t c = k + 1; c < n; ++c) {
+        m(i, c) -= l * m(k, c);
+      }
+    }
+  }
+  return f;
+}
+
+std::optional<std::vector<double>> lu_solve(const LuFactors& factors,
+                                            std::span<const double> b) {
+  if (factors.singular) {
+    return std::nullopt;
+  }
+  const Matrix& m = factors.lu;
+  const std::size_t n = m.rows();
+  COUPON_ASSERT(b.size() == n);
+  std::vector<double> x(b.begin(), b.end());
+  // Apply the recorded row swaps, then forward/back substitution.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (factors.piv[k] != k) {
+      std::swap(x[k], x[factors.piv[k]]);
+    }
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      s -= m(i, j) * x[j];
+    }
+    x[i] = s;
+  }
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      s -= m(i, j) * x[j];
+    }
+    x[i] = s / m(i, i);
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> solve(const Matrix& a,
+                                         std::span<const double> b) {
+  return lu_solve(lu_factor(a), b);
+}
+
+QrFactors qr_factor(Matrix a) {
+  COUPON_ASSERT_MSG(a.rows() >= a.cols(),
+                    "qr_factor requires rows >= cols, got "
+                        << a.rows() << "x" << a.cols());
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  QrFactors f{std::move(a), std::vector<double>(n, 0.0), false};
+  Matrix& qr = f.qr;
+
+  std::vector<double> v(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector annihilating column k below row k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      norm = std::hypot(norm, qr(i, k));
+    }
+    if (norm < kPivotTol) {
+      f.rank_deficient = true;
+      f.tau[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr(k, k) >= 0.0 ? -norm : norm;
+    const double vk = qr(k, k) - alpha;
+    v[k] = vk;
+    for (std::size_t i = k + 1; i < m; ++i) {
+      v[i] = qr(i, k);
+    }
+    const double vnorm2 = vk * vk + [&] {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < m; ++i) {
+        s += v[i] * v[i];
+      }
+      return s;
+    }();
+    if (vnorm2 < kPivotTol * kPivotTol) {
+      f.rank_deficient = true;
+      f.tau[k] = 0.0;
+      continue;
+    }
+    const double tau = 2.0 / vnorm2;
+    f.tau[k] = tau;
+
+    // Apply H = I - tau v v^T to the trailing block columns [k, n).
+    for (std::size_t c = k; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) {
+        s += v[i] * qr(i, c);
+      }
+      s *= tau;
+      for (std::size_t i = k; i < m; ++i) {
+        qr(i, c) -= s * v[i];
+      }
+    }
+    // R_kk was just produced in place; store v below the diagonal scaled
+    // so the leading entry is implicit (standard compact storage).
+    COUPON_ASSERT(std::abs(qr(k, k)) > 0.0);
+    for (std::size_t i = k + 1; i < m; ++i) {
+      qr(i, k) = v[i] / vk;
+    }
+    // Keep tau in the convention where the reflector is
+    // H = I - tau_eff u u^T with u = [1, qr(k+1..m, k)]; tau_eff = tau*vk^2.
+    f.tau[k] = tau * vk * vk;
+  }
+  return f;
+}
+
+std::optional<std::vector<double>> qr_solve(const QrFactors& factors,
+                                            std::span<const double> b) {
+  if (factors.rank_deficient) {
+    return std::nullopt;
+  }
+  const Matrix& qr = factors.qr;
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
+  COUPON_ASSERT(b.size() == m);
+  std::vector<double> y(b.begin(), b.end());
+
+  // y = Q^T b: apply reflectors in order.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double tau = factors.tau[k];
+    if (tau == 0.0) {
+      continue;
+    }
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) {
+      s += qr(i, k) * y[i];
+    }
+    s *= tau;
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) {
+      y[i] -= s * qr(i, k);
+    }
+  }
+  // Back substitution on R x = y[0..n).
+  std::vector<double> x(n);
+  for (std::size_t kk = n; kk > 0; --kk) {
+    const std::size_t k = kk - 1;
+    double s = y[k];
+    for (std::size_t j = k + 1; j < n; ++j) {
+      s -= qr(k, j) * x[j];
+    }
+    const double rkk = qr(k, k);
+    if (std::abs(rkk) < kPivotTol) {
+      return std::nullopt;
+    }
+    x[k] = s / rkk;
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> lstsq(const Matrix& a,
+                                         std::span<const double> b) {
+  return qr_solve(qr_factor(a), b);
+}
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  COUPON_ASSERT(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        s -= l(i, k) * l(j, k);
+      }
+      if (i == j) {
+        if (s <= 0.0) {
+          return std::nullopt;  // not positive definite
+        }
+        l(i, i) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::optional<std::vector<double>> cholesky_solve(const Matrix& a,
+                                                  std::span<const double> b) {
+  auto lopt = cholesky(a);
+  if (!lopt) {
+    return std::nullopt;
+  }
+  const Matrix& l = *lopt;
+  const std::size_t n = l.rows();
+  COUPON_ASSERT(b.size() == n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      s -= l(i, j) * y[j];
+    }
+    y[i] = s / l(i, i);
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      s -= l(j, i) * x[j];
+    }
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+double residual_norm(const Matrix& a, std::span<const double> x,
+                     std::span<const double> b) {
+  COUPON_ASSERT(x.size() == a.cols() && b.size() == a.rows());
+  std::vector<double> r(b.begin(), b.end());
+  gemv(1.0, a, x, -1.0, std::span<double>(r));
+  // r now holds A x - b (gemv computed 1*A*x + (-1)*b elementwise into r).
+  return nrm2(r);
+}
+
+}  // namespace coupon::linalg

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file vector_ops.hpp
+/// BLAS-1 style kernels over `std::span<double>`.
+///
+/// These free functions are the building blocks for the gradient
+/// computations (sums of per-example gradients) and for the dense solvers.
+/// They are deliberately allocation-free; callers own all buffers.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace coupon::linalg {
+
+/// Dot product <x, y>. Requires x.size() == y.size().
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x. Requires x.size() == y.size().
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scal(double alpha, std::span<double> x);
+
+/// Euclidean norm ||x||_2.
+double nrm2(std::span<const double> x);
+
+/// Sum of elements.
+double asum_signed(std::span<const double> x);
+
+/// y = x (sizes must match).
+void copy(std::span<const double> x, std::span<double> y);
+
+/// x = value everywhere.
+void fill(std::span<double> x, double value);
+
+/// out = a + b (sizes must match).
+void add(std::span<const double> a, std::span<const double> b,
+         std::span<double> out);
+
+/// out = a - b (sizes must match).
+void sub(std::span<const double> a, std::span<const double> b,
+         std::span<double> out);
+
+/// max_i |a_i - b_i|; 0 for empty spans. Sizes must match.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// max_i |a_i|; 0 for empty spans.
+double max_abs(std::span<const double> a);
+
+}  // namespace coupon::linalg

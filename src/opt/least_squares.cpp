@@ -1,0 +1,46 @@
+#include "opt/least_squares.hpp"
+
+#include "linalg/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::opt {
+
+double squared_loss(const data::Dataset& dataset, std::span<const double> w) {
+  COUPON_ASSERT(w.size() == dataset.num_features());
+  const std::size_t m = dataset.num_examples();
+  double total = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double e = linalg::dot(dataset.x.row(j), w) - dataset.y[j];
+    total += 0.5 * e * e;
+  }
+  return total / static_cast<double>(m);
+}
+
+void squared_gradient(const data::Dataset& dataset, std::span<const double> w,
+                      std::span<double> grad) {
+  COUPON_ASSERT(grad.size() == dataset.num_features());
+  std::vector<std::size_t> all(dataset.num_examples());
+  for (std::size_t j = 0; j < all.size(); ++j) {
+    all[j] = j;
+  }
+  squared_partial_gradient_sum(dataset, all, w, grad, /*accumulate=*/false);
+  linalg::scal(1.0 / static_cast<double>(dataset.num_examples()), grad);
+}
+
+void squared_partial_gradient_sum(const data::Dataset& dataset,
+                                  std::span<const std::size_t> indices,
+                                  std::span<const double> w,
+                                  std::span<double> out, bool accumulate) {
+  COUPON_ASSERT(w.size() == dataset.num_features());
+  COUPON_ASSERT(out.size() == dataset.num_features());
+  if (!accumulate) {
+    linalg::fill(out, 0.0);
+  }
+  for (std::size_t j : indices) {
+    COUPON_ASSERT(j < dataset.num_examples());
+    const double e = linalg::dot(dataset.x.row(j), w) - dataset.y[j];
+    linalg::axpy(e, dataset.x.row(j), out);
+  }
+}
+
+}  // namespace coupon::opt

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file least_squares.hpp
+/// Squared-error loss for linear regression.
+///
+/// The gradient-coding layer is loss-agnostic: any loss that decomposes
+/// as a sum of per-example gradients plugs into the same schemes. This
+/// second loss (alongside logistic) is used by the tests to demonstrate
+/// that property end-to-end. Per-example loss l(x, y; w) = 0.5 (x^T w -
+/// y)^2 with partial gradient g_j(w) = (x_j^T w - y_j) x_j.
+
+#include <span>
+
+#include "data/dataset.hpp"
+
+namespace coupon::opt {
+
+/// Mean squared-error loss over the dataset (labels are real-valued).
+double squared_loss(const data::Dataset& dataset, std::span<const double> w);
+
+/// Full mean gradient: grad = (1/m) sum_j (x_j^T w - y_j) x_j.
+void squared_gradient(const data::Dataset& dataset, std::span<const double> w,
+                      std::span<double> grad);
+
+/// Sum (not mean) of squared-loss partial gradients over `indices`;
+/// overwrites `out` unless `accumulate`.
+void squared_partial_gradient_sum(const data::Dataset& dataset,
+                                  std::span<const std::size_t> indices,
+                                  std::span<const double> w,
+                                  std::span<double> out,
+                                  bool accumulate = false);
+
+}  // namespace coupon::opt

@@ -1,0 +1,87 @@
+#include "opt/logistic.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::opt {
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double log1p_exp(double z) {
+  if (z > 0.0) {
+    return z + std::log1p(std::exp(-z));
+  }
+  return std::log1p(std::exp(z));
+}
+
+double logistic_loss(const data::Dataset& dataset,
+                     std::span<const double> w) {
+  COUPON_ASSERT(w.size() == dataset.num_features());
+  const std::size_t m = dataset.num_examples();
+  double total = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double margin =
+        dataset.y[j] * linalg::dot(dataset.x.row(j), w);
+    total += log1p_exp(-margin);
+  }
+  return total / static_cast<double>(m);
+}
+
+void logistic_gradient(const data::Dataset& dataset,
+                       std::span<const double> w, std::span<double> grad) {
+  COUPON_ASSERT(grad.size() == dataset.num_features());
+  std::vector<std::size_t> all(dataset.num_examples());
+  for (std::size_t j = 0; j < all.size(); ++j) {
+    all[j] = j;
+  }
+  partial_gradient_sum(dataset, all, w, grad, /*accumulate=*/false);
+  linalg::scal(1.0 / static_cast<double>(dataset.num_examples()), grad);
+}
+
+void partial_gradient_sum(const data::Dataset& dataset,
+                          std::span<const std::size_t> indices,
+                          std::span<const double> w, std::span<double> out,
+                          bool accumulate) {
+  COUPON_ASSERT(w.size() == dataset.num_features());
+  COUPON_ASSERT(out.size() == dataset.num_features());
+  if (!accumulate) {
+    linalg::fill(out, 0.0);
+  }
+  for (std::size_t j : indices) {
+    COUPON_ASSERT(j < dataset.num_examples());
+    const double margin = dataset.y[j] * linalg::dot(dataset.x.row(j), w);
+    const double coef = -dataset.y[j] * sigmoid(-margin);
+    linalg::axpy(coef, dataset.x.row(j), out);
+  }
+}
+
+void partial_gradient(const data::Dataset& dataset, std::size_t j,
+                      std::span<const double> w, std::span<double> out) {
+  const std::size_t one[] = {j};
+  partial_gradient_sum(dataset, one, w, out, /*accumulate=*/false);
+}
+
+double accuracy(const data::Dataset& dataset, std::span<const double> w) {
+  COUPON_ASSERT(w.size() == dataset.num_features());
+  const std::size_t m = dataset.num_examples();
+  std::size_t correct = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double score = linalg::dot(dataset.x.row(j), w);
+    const double pred = score >= 0.0 ? 1.0 : -1.0;
+    if (pred == dataset.y[j]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(m);
+}
+
+}  // namespace coupon::opt

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file logistic.hpp
+/// Numerically stable logistic-regression loss and gradients.
+///
+/// With labels y in {-1, +1} the per-example loss is
+///   l(x, y; w) = log(1 + exp(-y * x^T w))
+/// and the partial gradient of the paper's Eq. (1) is
+///   g_j(w) = -y_j * sigmoid(-y_j * x_j^T w) * x_j.
+/// Workers ship sums of g_j over their assigned examples; the master
+/// divides the aggregated sum by m to obtain the full gradient.
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace coupon::opt {
+
+/// Stable logistic sigmoid 1 / (1 + exp(-z)).
+double sigmoid(double z);
+
+/// Stable log(1 + exp(z)).
+double log1p_exp(double z);
+
+/// Mean logistic loss over the whole dataset.
+double logistic_loss(const data::Dataset& dataset, std::span<const double> w);
+
+/// Full mean gradient: grad = (1/m) Σ_j g_j(w). grad.size() must equal p.
+void logistic_gradient(const data::Dataset& dataset, std::span<const double> w,
+                       std::span<double> grad);
+
+/// Sum (not mean) of partial gradients over `indices`:
+/// out += Σ_{j in indices} g_j(w) if `accumulate`, else out = Σ ... .
+/// This is exactly the message z_i a BCC/uncoded worker computes (Eq. 12).
+void partial_gradient_sum(const data::Dataset& dataset,
+                          std::span<const std::size_t> indices,
+                          std::span<const double> w, std::span<double> out,
+                          bool accumulate = false);
+
+/// Single-example partial gradient g_j(w); out is overwritten.
+void partial_gradient(const data::Dataset& dataset, std::size_t j,
+                      std::span<const double> w, std::span<double> out);
+
+/// Fraction of examples whose sign(x^T w) matches the label.
+double accuracy(const data::Dataset& dataset, std::span<const double> w);
+
+}  // namespace coupon::opt

@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file opt.hpp
+/// Umbrella header for the opt module.
+
+#include "opt/least_squares.hpp" // IWYU pragma: export
+#include "opt/logistic.hpp"  // IWYU pragma: export
+#include "opt/optimizer.hpp" // IWYU pragma: export
+#include "opt/schedule.hpp"  // IWYU pragma: export
+#include "opt/trainer.hpp"   // IWYU pragma: export

@@ -1,0 +1,97 @@
+#include "opt/optimizer.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::opt {
+
+GradientDescent::GradientDescent(std::size_t dim,
+                                 LearningRateSchedule schedule)
+    : w_(dim, 0.0), schedule_(schedule) {
+  COUPON_ASSERT(dim > 0);
+}
+
+std::span<const double> GradientDescent::query_point() const { return w_; }
+
+void GradientDescent::apply_gradient(std::span<const double> grad) {
+  COUPON_ASSERT(grad.size() == w_.size());
+  linalg::axpy(-schedule_.at(t_), grad, w_);
+  ++t_;
+}
+
+std::span<const double> GradientDescent::weights() const { return w_; }
+
+HeavyBallGradient::HeavyBallGradient(std::size_t dim,
+                                     LearningRateSchedule schedule,
+                                     double beta)
+    : w_(dim, 0.0), v_(dim, 0.0), schedule_(schedule), beta_(beta) {
+  COUPON_ASSERT(dim > 0);
+  COUPON_ASSERT_MSG(beta >= 0.0 && beta < 1.0, "momentum must be in [0, 1)");
+}
+
+std::span<const double> HeavyBallGradient::query_point() const { return w_; }
+
+void HeavyBallGradient::apply_gradient(std::span<const double> grad) {
+  COUPON_ASSERT(grad.size() == w_.size());
+  const double mu = schedule_.at(t_);
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    v_[i] = beta_ * v_[i] - mu * grad[i];
+    w_[i] += v_[i];
+  }
+  ++t_;
+}
+
+std::span<const double> HeavyBallGradient::weights() const { return w_; }
+
+AdaGrad::AdaGrad(std::size_t dim, LearningRateSchedule schedule,
+                 double epsilon)
+    : w_(dim, 0.0),
+      accum_(dim, 0.0),
+      schedule_(schedule),
+      epsilon_(epsilon) {
+  COUPON_ASSERT(dim > 0);
+  COUPON_ASSERT(epsilon > 0.0);
+}
+
+std::span<const double> AdaGrad::query_point() const { return w_; }
+
+void AdaGrad::apply_gradient(std::span<const double> grad) {
+  COUPON_ASSERT(grad.size() == w_.size());
+  const double mu = schedule_.at(t_);
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    accum_[i] += grad[i] * grad[i];
+    w_[i] -= mu * grad[i] / (std::sqrt(accum_[i]) + epsilon_);
+  }
+  ++t_;
+}
+
+std::span<const double> AdaGrad::weights() const { return w_; }
+
+NesterovGradient::NesterovGradient(std::size_t dim,
+                                   LearningRateSchedule schedule)
+    : w_(dim, 0.0), v_(dim, 0.0), w_prev_(dim, 0.0), schedule_(schedule) {
+  COUPON_ASSERT(dim > 0);
+}
+
+std::span<const double> NesterovGradient::query_point() const { return v_; }
+
+void NesterovGradient::apply_gradient(std::span<const double> grad) {
+  COUPON_ASSERT(grad.size() == w_.size());
+  w_prev_ = w_;
+  // w_{t+1} = v_t - mu_t * grad
+  w_ = v_;
+  linalg::axpy(-schedule_.at(t_), grad, w_);
+  // v_{t+1} = w_{t+1} + beta_t * (w_{t+1} - w_t)
+  const double beta =
+      static_cast<double>(t_) / static_cast<double>(t_ + 3);
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    v_[i] = w_[i] + beta * (w_[i] - w_prev_[i]);
+  }
+  ++t_;
+}
+
+std::span<const double> NesterovGradient::weights() const { return w_; }
+
+}  // namespace coupon::opt

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// Iteration-inverted first-order optimizers.
+///
+/// Distributed GD separates "where to evaluate the gradient" from "apply
+/// the update": each iteration the master broadcasts the query point,
+/// aggregates worker messages into a full gradient, and applies it. The
+/// `IterativeOptimizer` interface models exactly that handshake, so the
+/// same optimizer code runs serially (tests), on the discrete-event
+/// simulator, and on the threaded runtime.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "opt/schedule.hpp"
+
+namespace coupon::opt {
+
+/// Abstract first-order optimizer driven one iteration at a time.
+class IterativeOptimizer {
+ public:
+  virtual ~IterativeOptimizer() = default;
+
+  /// The point at which the next gradient must be evaluated (w_t for plain
+  /// GD; the lookahead point v_t for Nesterov).
+  virtual std::span<const double> query_point() const = 0;
+
+  /// Consumes the gradient evaluated at query_point() and advances one
+  /// iteration.
+  virtual void apply_gradient(std::span<const double> grad) = 0;
+
+  /// Current iterate w_t (the model the caller should evaluate/deploy).
+  virtual std::span<const double> weights() const = 0;
+
+  /// Iterations applied so far.
+  virtual std::size_t iteration() const = 0;
+};
+
+/// Plain gradient descent: w_{t+1} = w_t - mu_t * grad.
+class GradientDescent final : public IterativeOptimizer {
+ public:
+  GradientDescent(std::size_t dim, LearningRateSchedule schedule);
+
+  std::span<const double> query_point() const override;
+  void apply_gradient(std::span<const double> grad) override;
+  std::span<const double> weights() const override;
+  std::size_t iteration() const override { return t_; }
+
+ private:
+  std::vector<double> w_;
+  LearningRateSchedule schedule_;
+  std::size_t t_ = 0;
+};
+
+/// Polyak heavy-ball momentum:
+///   v_{t+1} = beta * v_t - mu_t * grad(w_t)
+///   w_{t+1} = w_t + v_{t+1}
+/// Not used by the paper's experiments but a standard drop-in for the
+/// same distributed-GD loop (the master-side update is scheme-agnostic).
+class HeavyBallGradient final : public IterativeOptimizer {
+ public:
+  HeavyBallGradient(std::size_t dim, LearningRateSchedule schedule,
+                    double beta = 0.9);
+
+  std::span<const double> query_point() const override;
+  void apply_gradient(std::span<const double> grad) override;
+  std::span<const double> weights() const override;
+  std::size_t iteration() const override { return t_; }
+
+ private:
+  std::vector<double> w_;
+  std::vector<double> v_;
+  LearningRateSchedule schedule_;
+  double beta_;
+  std::size_t t_ = 0;
+};
+
+/// AdaGrad (Duchi et al.): per-coordinate adaptive step sizes,
+///   G_{t+1} = G_t + grad ⊙ grad
+///   w_{t+1} = w_t - mu_t * grad / (sqrt(G_{t+1}) + eps).
+class AdaGrad final : public IterativeOptimizer {
+ public:
+  AdaGrad(std::size_t dim, LearningRateSchedule schedule,
+          double epsilon = 1e-8);
+
+  std::span<const double> query_point() const override;
+  void apply_gradient(std::span<const double> grad) override;
+  std::span<const double> weights() const override;
+  std::size_t iteration() const override { return t_; }
+
+ private:
+  std::vector<double> w_;
+  std::vector<double> accum_;
+  LearningRateSchedule schedule_;
+  double epsilon_;
+  std::size_t t_ = 0;
+};
+
+/// Nesterov's accelerated gradient method, the optimizer used by the
+/// paper's EC2 experiments:
+///   w_{t+1} = v_t - mu_t * grad(v_t)
+///   v_{t+1} = w_{t+1} + beta_t * (w_{t+1} - w_t)
+/// with beta_t = t / (t + 3) (the standard schedule for convex problems).
+class NesterovGradient final : public IterativeOptimizer {
+ public:
+  NesterovGradient(std::size_t dim, LearningRateSchedule schedule);
+
+  std::span<const double> query_point() const override;
+  void apply_gradient(std::span<const double> grad) override;
+  std::span<const double> weights() const override;
+  std::size_t iteration() const override { return t_; }
+
+ private:
+  std::vector<double> w_;
+  std::vector<double> v_;
+  std::vector<double> w_prev_;
+  LearningRateSchedule schedule_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace coupon::opt

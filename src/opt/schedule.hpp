@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Learning-rate schedules mu_t for the iterative optimizers.
+
+#include <cstddef>
+
+#include "util/assert.hpp"
+
+namespace coupon::opt {
+
+/// Learning-rate schedule: constant or inverse-time decay
+/// mu_t = mu0 / (1 + decay * t).
+class LearningRateSchedule {
+ public:
+  /// Constant rate mu0.
+  static LearningRateSchedule constant(double mu0) {
+    return LearningRateSchedule(mu0, 0.0);
+  }
+
+  /// Inverse-time decay mu0 / (1 + decay * t).
+  static LearningRateSchedule inverse_time(double mu0, double decay) {
+    return LearningRateSchedule(mu0, decay);
+  }
+
+  /// Rate for iteration `t` (0-based).
+  double at(std::size_t t) const {
+    return mu0_ / (1.0 + decay_ * static_cast<double>(t));
+  }
+
+ private:
+  LearningRateSchedule(double mu0, double decay) : mu0_(mu0), decay_(decay) {
+    COUPON_ASSERT(mu0 > 0.0 && decay >= 0.0);
+  }
+  double mu0_;
+  double decay_;
+};
+
+}  // namespace coupon::opt

@@ -1,0 +1,34 @@
+#include "opt/trainer.hpp"
+
+#include "opt/logistic.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::opt {
+
+TrainResult train(IterativeOptimizer& optimizer, const GradientOracle& oracle,
+                  std::size_t iterations,
+                  const std::function<double(std::span<const double>)>*
+                      loss_fn) {
+  TrainResult result;
+  const std::size_t dim = optimizer.weights().size();
+  std::vector<double> grad(dim);
+  for (std::size_t t = 0; t < iterations; ++t) {
+    oracle(optimizer.query_point(), grad);
+    optimizer.apply_gradient(grad);
+    if (loss_fn != nullptr) {
+      result.loss_history.push_back((*loss_fn)(optimizer.weights()));
+    }
+  }
+  auto w = optimizer.weights();
+  result.weights.assign(w.begin(), w.end());
+  result.iterations = iterations;
+  return result;
+}
+
+GradientOracle make_logistic_oracle(const data::Dataset& dataset) {
+  return [&dataset](std::span<const double> w, std::span<double> grad) {
+    logistic_gradient(dataset, w, grad);
+  };
+}
+
+}  // namespace coupon::opt

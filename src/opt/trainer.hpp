@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file trainer.hpp
+/// Serial training driver: runs an IterativeOptimizer against a gradient
+/// oracle. Used as the ground-truth reference the distributed paths are
+/// checked against, and by the examples for quick model fitting.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "opt/optimizer.hpp"
+
+namespace coupon::opt {
+
+/// Computes the full gradient at `w` into `grad` (both sized p).
+using GradientOracle =
+    std::function<void(std::span<const double> w, std::span<double> grad)>;
+
+/// Result of a training run.
+struct TrainResult {
+  std::vector<double> weights;
+  std::vector<double> loss_history;  ///< empty unless a loss_fn was given
+  std::size_t iterations = 0;
+};
+
+/// Runs `iterations` steps of `optimizer` against `oracle`.
+/// If `loss_fn` is non-null it is evaluated on the current weights after
+/// every step and recorded in the result.
+TrainResult train(IterativeOptimizer& optimizer, const GradientOracle& oracle,
+                  std::size_t iterations,
+                  const std::function<double(std::span<const double>)>*
+                      loss_fn = nullptr);
+
+/// Gradient oracle for full-batch logistic regression on `dataset`.
+GradientOracle make_logistic_oracle(const data::Dataset& dataset);
+
+}  // namespace coupon::opt

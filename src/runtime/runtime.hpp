@@ -1,0 +1,6 @@
+#pragma once
+
+/// \file runtime.hpp
+/// Umbrella header for the runtime module.
+
+#include "runtime/thread_cluster.hpp" // IWYU pragma: export

@@ -1,0 +1,152 @@
+#include "runtime/thread_cluster.hpp"
+
+#include <chrono>
+
+#include "linalg/vector_ops.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace coupon::runtime {
+
+namespace {
+constexpr std::size_t kMasterRank = 0;
+}
+
+ThreadCluster::ThreadCluster(const core::Scheme& scheme,
+                             const core::UnitGradientSource& source,
+                             std::uint64_t straggler_seed)
+    : scheme_(scheme),
+      source_(source),
+      network_(scheme.num_workers() + 1) {
+  COUPON_ASSERT(source.num_units() == scheme.num_units());
+  stats::Rng seeder(straggler_seed);
+  threads_.reserve(scheme.num_workers());
+  for (std::size_t i = 0; i < scheme.num_workers(); ++i) {
+    const std::uint64_t seed = seeder.next_u64();
+    threads_.emplace_back([this, i, seed] { worker_loop(i, seed); });
+  }
+}
+
+ThreadCluster::~ThreadCluster() {
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    comm::Message bye;
+    bye.source = kMasterRank;
+    bye.dest = static_cast<std::int32_t>(i + 1);
+    bye.tag = comm::kTagShutdown;
+    network_.send(std::move(bye));
+  }
+  for (auto& t : threads_) {
+    t.join();
+  }
+  network_.close_all();
+}
+
+void ThreadCluster::worker_loop(std::size_t worker_index,
+                                std::uint64_t seed) {
+  const std::size_t rank = worker_index + 1;
+  stats::Rng rng(seed);
+  for (;;) {
+    auto msg = network_.recv(rank);
+    if (!msg || msg->tag == comm::kTagShutdown) {
+      return;
+    }
+    COUPON_ASSERT(msg->tag == comm::kTagModelBroadcast);
+
+    comm::Message reply =
+        scheme_.encode(worker_index, source_, msg->payload);
+    reply.source = static_cast<std::int32_t>(rank);
+    reply.dest = kMasterRank;
+    reply.iteration = msg->iteration;
+
+    if (straggler_.enabled) {
+      const auto load =
+          static_cast<double>(scheme_.placement().worker(worker_index).size());
+      if (load > 0.0) {
+        const auto dist = stats::ShiftedExponential::for_load(
+            straggler_.shift_ms_per_unit, straggler_.straggle, load);
+        const double delay_ms = dist.sample(rng);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+    }
+    network_.send(std::move(reply));
+  }
+}
+
+TrainRunResult ThreadCluster::train(opt::IterativeOptimizer& optimizer,
+                                    const TrainOptions& options) {
+  straggler_ = options.straggler;
+  const std::size_t n = scheme_.num_workers();
+  const std::size_t dim = source_.dim();
+  COUPON_ASSERT(optimizer.weights().size() == dim);
+
+  TrainRunResult result;
+  WallTimer timer;
+  std::vector<double> grad(dim);
+
+  for (std::size_t t = 0; t < options.iterations; ++t) {
+    const auto query = optimizer.query_point();
+    for (std::size_t i = 0; i < n; ++i) {
+      comm::Message broadcast;
+      broadcast.source = kMasterRank;
+      broadcast.dest = static_cast<std::int32_t>(i + 1);
+      broadcast.tag = comm::kTagModelBroadcast;
+      broadcast.iteration = static_cast<std::int64_t>(t);
+      broadcast.payload.assign(query.begin(), query.end());
+      network_.send(std::move(broadcast));
+    }
+
+    auto collector = scheme_.make_collector();
+    std::size_t replies_this_iter = 0;
+    while (!collector->ready() && replies_this_iter < n) {
+      auto msg = network_.recv(kMasterRank);
+      COUPON_ASSERT_MSG(msg.has_value(), "master mailbox closed mid-run");
+      COUPON_ASSERT(msg->tag == comm::kTagGradient);
+      if (msg->iteration != static_cast<std::int64_t>(t)) {
+        continue;  // stale reply from an iteration the master left early
+      }
+      ++replies_this_iter;
+      collector->offer(static_cast<std::size_t>(msg->source) - 1, msg->meta,
+                       msg->payload);
+    }
+
+    result.workers_heard.add(
+        static_cast<double>(collector->workers_heard()));
+    result.units_received.add(collector->units_received());
+
+    if (!collector->ready()) {
+      // Coverage failure (all n replies consumed).
+      if (options.on_failure == FailurePolicy::kApplyPartial &&
+          collector->supports_partial_decode()) {
+        const std::size_t covered = collector->decode_partial_sum(grad);
+        if (covered > 0) {
+          // Mean-gradient estimate: the partial sum spans `covered` of
+          // num_units units, i.e. about num_examples * covered/num_units
+          // underlying examples.
+          const double covered_examples =
+              static_cast<double>(source_.num_examples()) *
+              static_cast<double>(covered) /
+              static_cast<double>(source_.num_units());
+          linalg::scal(1.0 / covered_examples, grad);
+          optimizer.apply_gradient(grad);
+          ++result.partial_iterations;
+          continue;
+        }
+      }
+      ++result.failed_iterations;
+      continue;
+    }
+    collector->decode_sum(grad);
+    linalg::scal(1.0 / static_cast<double>(source_.num_examples()), grad);
+    optimizer.apply_gradient(grad);
+  }
+
+  auto w = optimizer.weights();
+  result.weights.assign(w.begin(), w.end());
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace coupon::runtime

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file thread_cluster.hpp
+/// Real-thread master/worker cluster executing distributed GD.
+///
+/// This is the MPI-substitute execution path (DESIGN.md §2): rank 0
+/// (the calling thread) is the master, ranks 1..n are worker threads.
+/// Each iteration the master broadcasts the optimizer's query point,
+/// every worker computes its scheme-encoded gradient message on its
+/// locally "stored" data and ships it back, and the master feeds arrivals
+/// to the scheme's Collector until it is ready — exactly the protocol of
+/// the paper's EC2 implementation, with optional injected straggler
+/// delays standing in for t2.micro latency variance.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "comm/network.hpp"
+#include "core/gradient_source.hpp"
+#include "core/scheme.hpp"
+#include "opt/optimizer.hpp"
+#include "stats/summary.hpp"
+
+namespace coupon::runtime {
+
+/// Artificial worker slowdowns: each iteration a worker sleeps a
+/// shift-exponential time (Eq. 15 scaled to milliseconds) before sending.
+struct StragglerInjection {
+  bool enabled = false;
+  double shift_ms_per_unit = 0.0;  ///< a, in ms per unit of load
+  double straggle = 1.0;           ///< mu (tail scale = load/mu ms)
+};
+
+/// What the master does when an iteration cannot be fully recovered
+/// (e.g. a BCC placement that misses a batch at small n).
+enum class FailurePolicy {
+  /// Drop the iteration entirely — the paper's implicit behaviour.
+  kSkipUpdate,
+  /// Apply the covered-so-far gradient rescaled to a mean-gradient
+  /// estimate (the "ignoring stragglers" approximation; library
+  /// extension). Falls back to skipping for schemes without partial
+  /// decoding (CR) or when nothing was covered.
+  kApplyPartial,
+};
+
+/// Training-run parameters.
+struct TrainOptions {
+  std::size_t iterations = 10;
+  StragglerInjection straggler;
+  FailurePolicy on_failure = FailurePolicy::kSkipUpdate;
+};
+
+/// Result of a distributed training run.
+struct TrainRunResult {
+  std::vector<double> weights;        ///< final model w_T
+  stats::OnlineStats workers_heard;   ///< per-iteration K samples
+  stats::OnlineStats units_received;  ///< per-iteration L samples
+  double wall_seconds = 0.0;
+  std::size_t failed_iterations = 0;  ///< coverage failures (update skipped)
+  std::size_t partial_iterations = 0; ///< updates applied from partial sums
+};
+
+/// A master plus `n` worker threads bound to one scheme and one dataset.
+///
+/// The scheme, gradient source, and network outlive every iteration; the
+/// class is single-use-at-a-time: call `train` from one thread.
+class ThreadCluster {
+ public:
+  /// Spawns `scheme.num_workers()` worker threads. `source` must remain
+  /// valid for the cluster's lifetime.
+  ThreadCluster(const core::Scheme& scheme,
+                const core::UnitGradientSource& source,
+                std::uint64_t straggler_seed = 42);
+
+  /// Joins all workers.
+  ~ThreadCluster();
+
+  ThreadCluster(const ThreadCluster&) = delete;
+  ThreadCluster& operator=(const ThreadCluster&) = delete;
+
+  /// Runs synchronous distributed GD for `options.iterations` iterations,
+  /// driving `optimizer` (master-side). On a coverage failure (possible
+  /// for BCC with small n) the iteration's update is skipped and counted.
+  TrainRunResult train(opt::IterativeOptimizer& optimizer,
+                       const TrainOptions& options);
+
+ private:
+  void worker_loop(std::size_t worker_index, std::uint64_t seed);
+
+  const core::Scheme& scheme_;
+  const core::UnitGradientSource& source_;
+  comm::InProcNetwork network_;
+  std::vector<std::thread> threads_;
+  StragglerInjection straggler_;  // read by workers during train()
+};
+
+}  // namespace coupon::runtime

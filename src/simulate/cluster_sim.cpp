@@ -1,0 +1,114 @@
+#include "simulate/cluster_sim.hpp"
+
+#include <algorithm>
+
+#include "stats/distributions.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::simulate {
+
+IterationReport simulate_iteration(const core::Scheme& scheme,
+                                   const ClusterConfig& config,
+                                   stats::Rng& rng) {
+  const std::size_t n = scheme.num_workers();
+  COUPON_ASSERT_MSG(config.worker_overrides.empty() ||
+                        config.worker_overrides.size() == n,
+                    "worker_overrides must be empty or size n");
+  auto collector = scheme.make_collector();
+
+  EventQueue queue;
+  IterationReport report;
+  report.recovered = false;
+
+  // Master ingress: serialized FIFO resource.
+  double ingress_free_at = 0.0;
+  // Compute durations of workers whose messages have been fully received.
+  std::vector<double> received_compute;
+  received_compute.reserve(n);
+  double completion_time = 0.0;
+
+  // Schedule every worker's compute completion.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config.drop_probability > 0.0 &&
+        rng.bernoulli(config.drop_probability)) {
+      continue;  // message lost: this worker never reports
+    }
+    const auto load =
+        static_cast<double>(scheme.placement().worker(i).size());
+    double compute = 0.0;
+    if (load > 0.0) {
+      const double a = config.worker_overrides.empty()
+                           ? config.compute_shift
+                           : config.worker_overrides[i].compute_shift;
+      const double mu = config.worker_overrides.empty()
+                            ? config.compute_straggle
+                            : config.worker_overrides[i].compute_straggle;
+      const auto dist = stats::ShiftedExponential::for_load(a, mu, load);
+      compute = dist.sample(rng);
+    }
+    const double finish = config.broadcast_seconds + compute;
+    queue.schedule(finish, [&, i, compute] {
+      if (collector->ready()) {
+        return;  // iteration already complete; message is ignored
+      }
+      // Transfer: wait for the ingress link, then occupy it.
+      const double service =
+          scheme.message_units(i) * config.unit_transfer_seconds;
+      const double start = std::max(queue.now(), ingress_free_at);
+      ingress_free_at = start + service;
+      queue.schedule(ingress_free_at, [&, i, compute] {
+        if (collector->ready()) {
+          return;
+        }
+        const auto meta = scheme.message_meta(i);
+        collector->offer(i, meta, {});
+        received_compute.push_back(compute);
+        if (collector->ready()) {
+          report.recovered = true;
+          completion_time = queue.now();
+        }
+      });
+    });
+  }
+
+  queue.run_until([&] { return report.recovered; });
+
+  if (!report.recovered) {
+    // All n messages consumed without recovery (e.g. BCC coverage
+    // failure). Report the full drain time; the caller counts it.
+    completion_time = queue.now();
+  }
+
+  report.total_time = completion_time;
+  report.workers_heard = collector->workers_heard();
+  report.units_received = collector->units_received();
+  report.compute_time =
+      received_compute.empty()
+          ? 0.0
+          : *std::max_element(received_compute.begin(),
+                              received_compute.end());
+  report.comm_time = report.total_time - report.compute_time;
+  return report;
+}
+
+RunReport simulate_run(const core::Scheme& scheme,
+                       const ClusterConfig& config, std::size_t iterations,
+                       stats::Rng& rng) {
+  RunReport run;
+  run.iterations.reserve(iterations);
+  for (std::size_t t = 0; t < iterations; ++t) {
+    IterationReport it = simulate_iteration(scheme, config, rng);
+    run.total_time += it.total_time;
+    run.total_compute_time += it.compute_time;
+    run.total_comm_time += it.comm_time;
+    run.workers_heard.add(static_cast<double>(it.workers_heard));
+    run.units_received.add(it.units_received);
+    if (!it.recovered) {
+      ++run.failures;
+    }
+    run.iterations.push_back(std::move(it));
+  }
+  return run;
+}
+
+}  // namespace coupon::simulate

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file cluster_sim.hpp
+/// Discrete-event model of one master + n workers running synchronous
+/// distributed GD — the EC2-testbed substitute (see DESIGN.md §2).
+///
+/// Per iteration:
+///   1. The master broadcasts the model; every worker starts computing
+///      after `broadcast_seconds`.
+///   2. Worker i's compute time is shift-exponential in its load
+///      (Eq. 15 applied per unit): shift = compute_shift * load_units,
+///      rate = compute_straggle / load_units. Redrawn each iteration —
+///      stragglers move around, as in a real cluster.
+///   3. Finished workers ship their encoded message to the master. The
+///      master's ingress link is a serialized FIFO resource: receiving a
+///      message occupies it for message_units * unit_transfer_seconds.
+///      This is what makes the communication phase proportional to the
+///      number of messages the master must sit through — exactly the
+///      effect behind Tables I/II, where total time tracks the recovery
+///      threshold K.
+///   4. Each fully received message is offered to the scheme's Collector;
+///      the iteration completes when the collector is ready.
+///
+/// Per-iteration accounting mirrors the paper's: computation time is the
+/// maximum compute duration among workers whose messages were received
+/// before the iteration ended; communication time is the remainder.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "simulate/event_queue.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace coupon::simulate {
+
+/// Per-worker compute-latency override (Eq. 15 parameters).
+struct WorkerLatency {
+  double compute_shift = 1e-3;     ///< a_i, seconds per unit of load
+  double compute_straggle = 1.0;   ///< mu_i
+};
+
+/// Latency parameters of the simulated cluster.
+struct ClusterConfig {
+  /// Seconds of deterministic compute per unit of load (a in Eq. 15).
+  double compute_shift = 1e-3;
+  /// Straggle parameter (mu in Eq. 15); the exponential tail of a
+  /// worker's compute time has scale load/mu.
+  double compute_straggle = 1.0;
+  /// Master ingress service seconds per gradient unit received.
+  double unit_transfer_seconds = 3e-3;
+  /// Fixed model-broadcast latency at the start of each iteration.
+  double broadcast_seconds = 0.0;
+  /// Probability that a worker's message is lost this iteration (worker
+  /// crash / packet drop). Independent across workers and iterations.
+  /// Wait-for-all schemes fail the iteration on any loss; BCC/FR only
+  /// fail when every replica of some batch/block is lost.
+  double drop_probability = 0.0;
+  /// Optional per-worker latency profiles (heterogeneous cluster). When
+  /// non-empty, must have exactly one entry per worker and overrides the
+  /// homogeneous compute_shift/compute_straggle above.
+  std::vector<WorkerLatency> worker_overrides;
+};
+
+/// Outcome of a single simulated GD iteration.
+struct IterationReport {
+  double total_time = 0.0;
+  double compute_time = 0.0;  ///< max compute among workers heard in time
+  double comm_time = 0.0;     ///< total - compute
+  std::size_t workers_heard = 0;  ///< |W| (recovery threshold sample)
+  double units_received = 0.0;    ///< L sample
+  bool recovered = true;  ///< false if all n messages left the collector
+                          ///< unsatisfied (BCC coverage failure)
+};
+
+/// Aggregates over a multi-iteration run.
+struct RunReport {
+  std::vector<IterationReport> iterations;
+  double total_time = 0.0;
+  double total_compute_time = 0.0;
+  double total_comm_time = 0.0;
+  stats::OnlineStats workers_heard;   ///< empirical K
+  stats::OnlineStats units_received;  ///< empirical L
+  std::size_t failures = 0;           ///< iterations without recovery
+};
+
+/// Simulates one iteration of distributed GD for `scheme` on a cluster
+/// described by `config`. Uses the scheme's combinatorial interface only
+/// (no gradients are computed).
+IterationReport simulate_iteration(const core::Scheme& scheme,
+                                   const ClusterConfig& config,
+                                   stats::Rng& rng);
+
+/// Simulates `iterations` independent iterations and aggregates.
+RunReport simulate_run(const core::Scheme& scheme, const ClusterConfig& config,
+                       std::size_t iterations, stats::Rng& rng);
+
+}  // namespace coupon::simulate

@@ -1,0 +1,36 @@
+#include "simulate/event_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace coupon::simulate {
+
+void EventQueue::schedule(double time, Callback cb) {
+  COUPON_ASSERT_MSG(time >= now_, "cannot schedule into the past: "
+                                      << time << " < " << now_);
+  heap_.push(Event{time, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top is const; the callback is moved out via a copy of
+  // the wrapper (std::function copy), then popped.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::run_until(const std::function<bool()>& predicate) {
+  while (!predicate() && run_next()) {
+  }
+}
+
+void EventQueue::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace coupon::simulate

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Minimal discrete-event simulation engine.
+///
+/// Events are (virtual-time, callback) pairs executed in nondecreasing
+/// time order; ties break by scheduling order (FIFO), which keeps runs
+/// fully deterministic for a fixed seed. Callbacks may schedule further
+/// events (at or after the current time).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace coupon::simulate {
+
+/// Deterministic virtual-time event loop.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute virtual time `time` (must be >= now()).
+  void schedule(double time, Callback cb);
+
+  /// Schedules `cb` `delay` seconds after now().
+  void schedule_after(double delay, Callback cb) {
+    schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Runs the earliest event. Returns false when the queue is empty.
+  bool run_next();
+
+  /// Runs events until the queue empties or `predicate` returns true
+  /// (checked after each event).
+  void run_until(const std::function<bool()>& predicate);
+
+  /// Drains the queue completely.
+  void run_all();
+
+  /// Current virtual time (time of the last executed event).
+  double now() const { return now_; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tiebreak
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace coupon::simulate

@@ -1,0 +1,104 @@
+#include "simulate/experiment.hpp"
+
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace coupon::simulate {
+
+namespace {
+
+/// Shared cluster calibration for both EC2 scenarios (see header note).
+ClusterConfig ec2_cluster() {
+  ClusterConfig c;
+  c.compute_shift = 1.0e-3;        // 1 ms deterministic compute per unit
+  c.compute_straggle = 950.0;      // tail scale load/mu ~ 10.5 ms at r=10
+  c.unit_transfer_seconds = 3.2e-3;  // 3.2 ms to receive one gradient
+  c.broadcast_seconds = 0.0;
+  return c;
+}
+
+}  // namespace
+
+ScenarioConfig ec2_scenario_one() {
+  ScenarioConfig s;
+  s.name = "scenario one (n=50, m=50 batches)";
+  s.num_workers = 50;
+  s.num_units = 50;
+  s.load = 10;
+  s.iterations = 100;
+  s.cluster = ec2_cluster();
+  s.seed = 0xEC2001;
+  return s;
+}
+
+ScenarioConfig ec2_scenario_two() {
+  ScenarioConfig s;
+  s.name = "scenario two (n=100, m=100 batches)";
+  s.num_workers = 100;
+  s.num_units = 100;
+  s.load = 10;
+  s.iterations = 100;
+  s.cluster = ec2_cluster();
+  s.seed = 0xEC2002;
+  return s;
+}
+
+std::vector<SchemeRunRow> run_scenario(
+    const ScenarioConfig& scenario,
+    const std::vector<core::SchemeKind>& kinds) {
+  COUPON_ASSERT(!kinds.empty());
+  std::vector<SchemeRunRow> rows;
+  rows.reserve(kinds.size());
+
+  stats::Rng root(scenario.seed);
+  for (core::SchemeKind kind : kinds) {
+    stats::Rng rng = root.split();  // disjoint stream per scheme
+
+    core::SchemeConfig config;
+    config.num_workers = scenario.num_workers;
+    config.num_units = scenario.num_units;
+    config.load = scenario.load;
+    auto scheme = core::make_scheme(kind, config, rng);
+
+    const RunReport run =
+        simulate_run(*scheme, scenario.cluster, scenario.iterations, rng);
+
+    SchemeRunRow row;
+    row.kind = kind;
+    row.scheme = std::string(scheme->name());
+    row.recovery_threshold = run.workers_heard.mean();
+    row.comm_time = run.total_comm_time;
+    row.compute_time = run.total_compute_time;
+    row.total_time = run.total_time;
+    row.mean_units = run.units_received.mean();
+    row.failures = run.failures;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double speedup_fraction(const SchemeRunRow& ours,
+                        const SchemeRunRow& baseline) {
+  COUPON_ASSERT(baseline.total_time > 0.0);
+  return 1.0 - ours.total_time / baseline.total_time;
+}
+
+void write_iteration_csv(std::ostream& os, const RunReport& run) {
+  CsvWriter csv(os);
+  csv.row({"iteration", "total_time", "compute_time", "comm_time",
+           "workers_heard", "units_received", "recovered"});
+  for (std::size_t t = 0; t < run.iterations.size(); ++t) {
+    const IterationReport& it = run.iterations[t];
+    csv.row({std::to_string(t), format_double(it.total_time, 9),
+             format_double(it.compute_time, 9),
+             format_double(it.comm_time, 9),
+             std::to_string(it.workers_heard),
+             format_double(it.units_received, 3),
+             it.recovered ? "1" : "0"});
+  }
+}
+
+}  // namespace coupon::simulate

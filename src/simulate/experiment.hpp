@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file experiment.hpp
+/// Scenario harness reproducing the paper's EC2 experiments (Section
+/// III-C): run several schemes over the same simulated cluster and report
+/// Table I/II-style rows (recovery threshold, communication time,
+/// computation time, total running time).
+///
+/// Calibration: the cluster constants below were chosen so that the
+/// simulated per-message ingress time and per-unit compute time land in
+/// the regime the paper reports for t2.micro instances (communication
+/// dominates computation by an order of magnitude; see EXPERIMENTS.md for
+/// the measured-vs-paper comparison). The *shape* of the results — the
+/// scheme ranking and the proportionality of total time to the recovery
+/// threshold — does not depend on the exact constants; see
+/// bench/ablation_master_bw for the sensitivity sweep.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "simulate/cluster_sim.hpp"
+
+namespace coupon::simulate {
+
+/// One experiment scenario (a cluster, a workload, a set of schemes).
+struct ScenarioConfig {
+  std::string name;
+  std::size_t num_workers = 0;  ///< n
+  std::size_t num_units = 0;    ///< m (data batches / super-examples)
+  std::size_t load = 0;         ///< r for the coded schemes (units)
+  std::size_t iterations = 100;
+  ClusterConfig cluster;
+  std::uint64_t seed = 1;
+};
+
+/// Scenario one of the paper: n = 50 workers, m = 50 data batches (100
+/// points each), r = 10 for CR and BCC, 100 iterations.
+ScenarioConfig ec2_scenario_one();
+
+/// Scenario two of the paper: n = 100 workers, m = 100 data batches.
+ScenarioConfig ec2_scenario_two();
+
+/// One Table I/II row.
+struct SchemeRunRow {
+  core::SchemeKind kind;
+  std::string scheme;
+  double recovery_threshold = 0.0;  ///< mean workers heard per iteration
+  double comm_time = 0.0;           ///< total over the run, seconds
+  double compute_time = 0.0;        ///< total over the run, seconds
+  double total_time = 0.0;          ///< total running time, seconds
+  double mean_units = 0.0;          ///< mean communication load L
+  std::size_t failures = 0;         ///< unrecovered iterations
+};
+
+/// Runs each scheme through the scenario (fresh deterministic RNG stream
+/// per scheme, placement drawn once per run as in the paper's setup) and
+/// returns one row per scheme, in input order.
+std::vector<SchemeRunRow> run_scenario(const ScenarioConfig& scenario,
+                                       const std::vector<core::SchemeKind>&
+                                           kinds);
+
+/// Percentage speedup of `ours` over `baseline` in total running time
+/// (e.g. 0.854 means 85.4% faster, the paper's headline comparison).
+double speedup_fraction(const SchemeRunRow& ours, const SchemeRunRow& baseline);
+
+/// Exports a run's per-iteration reports as CSV with columns
+/// iteration,total_time,compute_time,comm_time,workers_heard,
+/// units_received,recovered — for external plotting of latency traces.
+void write_iteration_csv(std::ostream& os, const RunReport& run);
+
+}  // namespace coupon::simulate

@@ -1,0 +1,8 @@
+#pragma once
+
+/// \file simulate.hpp
+/// Umbrella header for the simulate module.
+
+#include "simulate/cluster_sim.hpp" // IWYU pragma: export
+#include "simulate/event_queue.hpp" // IWYU pragma: export
+#include "simulate/experiment.hpp"  // IWYU pragma: export

@@ -1,0 +1,48 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace coupon::stats {
+
+double Exponential::cdf(double t) const {
+  if (t <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 - std::exp(-lambda * t);
+}
+
+double Exponential::quantile(double p) const {
+  COUPON_ASSERT(p >= 0.0 && p < 1.0);
+  return -std::log(1.0 - p) / lambda;
+}
+
+ShiftedExponential ShiftedExponential::for_load(double a, double mu,
+                                                double load) {
+  COUPON_ASSERT_MSG(a >= 0.0 && mu > 0.0 && load > 0.0,
+                    "a=" << a << " mu=" << mu << " load=" << load);
+  ShiftedExponential d;
+  d.shift = a * load;
+  d.rate = mu / load;
+  return d;
+}
+
+double ShiftedExponential::sample(Rng& rng) const {
+  COUPON_ASSERT(rate > 0.0 && shift >= 0.0);
+  return shift + rng.exponential(rate);
+}
+
+double ShiftedExponential::cdf(double t) const {
+  if (t <= shift) {
+    return 0.0;
+  }
+  return 1.0 - std::exp(-rate * (t - shift));
+}
+
+double ShiftedExponential::quantile(double p) const {
+  COUPON_ASSERT(p >= 0.0 && p < 1.0);
+  return shift - std::log(1.0 - p) / rate;
+}
+
+}  // namespace coupon::stats

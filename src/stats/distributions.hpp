@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file distributions.hpp
+/// Parametric distributions used by the latency models.
+///
+/// The paper models worker completion time with a *shifted exponential*
+/// (Eq. 15): for a worker with straggler parameter mu, shift parameter a,
+/// and computational load r,
+///
+///     Pr[T <= t] = 1 - exp(-(mu/r) * (t - a*r)),   t >= a*r.
+///
+/// i.e. a deterministic ramp `a*r` plus an exponential tail with rate
+/// `mu/r` (both the floor and the tail scale linearly in the load).
+
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+namespace coupon::stats {
+
+/// Exponential distribution with rate `lambda` (mean 1/lambda).
+struct Exponential {
+  double lambda = 1.0;
+
+  double sample(Rng& rng) const { return rng.exponential(lambda); }
+  double mean() const { return 1.0 / lambda; }
+  double variance() const { return 1.0 / (lambda * lambda); }
+  double cdf(double t) const;
+  /// Inverse CDF; p in [0, 1).
+  double quantile(double p) const;
+};
+
+/// The paper's shifted-exponential completion-time model (Eq. 15).
+///
+/// `shift` is the deterministic minimum (a*r in the paper) and `rate` the
+/// exponential tail rate (mu/r in the paper). Use `for_load` to build the
+/// model directly from worker parameters (a, mu) and a load r.
+struct ShiftedExponential {
+  double shift = 0.0;  ///< deterministic floor, must be >= 0
+  double rate = 1.0;   ///< tail rate, must be > 0
+
+  /// Builds the model of Eq. 15 for a worker with shift parameter `a`,
+  /// straggler parameter `mu`, processing `load` examples.
+  static ShiftedExponential for_load(double a, double mu, double load);
+
+  double sample(Rng& rng) const;
+  double mean() const { return shift + 1.0 / rate; }
+  double variance() const { return 1.0 / (rate * rate); }
+  double cdf(double t) const;
+  /// Inverse CDF; p in [0, 1).
+  double quantile(double p) const;
+};
+
+/// Two-component spherical Gaussian mixture used by the paper's synthetic
+/// dataset (Section III-C): x ~ 0.5 N(mu1, I) + 0.5 N(mu2, I).
+struct GaussianMixture2 {
+  /// Samples one scalar coordinate given the two component means.
+  static double sample_coord(Rng& rng, bool first_component, double mean1,
+                             double mean2) {
+    return rng.normal(first_component ? mean1 : mean2, 1.0);
+  }
+};
+
+}  // namespace coupon::stats

@@ -1,0 +1,8 @@
+#pragma once
+
+/// \file stats.hpp
+/// Umbrella header for the stats module.
+
+#include "stats/distributions.hpp" // IWYU pragma: export
+#include "stats/rng.hpp"           // IWYU pragma: export
+#include "stats/summary.hpp"       // IWYU pragma: export

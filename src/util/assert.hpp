@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file assert.hpp
+/// Lightweight always-on assertions for library invariants.
+///
+/// `COUPON_ASSERT` is used for checking preconditions and internal
+/// invariants of the library. Violations throw `coupon::AssertionError`
+/// carrying the failed expression and source location, so tests can assert
+/// on misuse and long experiment runs fail loudly instead of corrupting
+/// results. The checks are cheap (a branch) and stay enabled in release
+/// builds; hot inner loops use `COUPON_DCHECK`, which compiles out unless
+/// `COUPON_ENABLE_DCHECK` is defined.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace coupon {
+
+/// Error thrown when a `COUPON_ASSERT`/`COUPON_DCHECK` condition fails.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw AssertionError(os.str());
+}
+
+}  // namespace detail
+}  // namespace coupon
+
+/// Asserts `cond`; on failure throws coupon::AssertionError with location.
+#define COUPON_ASSERT(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::coupon::detail::assert_fail(#cond, __FILE__, __LINE__, "");      \
+    }                                                                    \
+  } while (false)
+
+/// Asserts `cond` with a streamed explanatory message.
+/// Usage: COUPON_ASSERT_MSG(r <= m, "load " << r << " exceeds " << m);
+#define COUPON_ASSERT_MSG(cond, stream_expr)                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream coupon_assert_os_;                              \
+      coupon_assert_os_ << stream_expr;                                  \
+      ::coupon::detail::assert_fail(#cond, __FILE__, __LINE__,           \
+                                    coupon_assert_os_.str());            \
+    }                                                                    \
+  } while (false)
+
+#ifdef COUPON_ENABLE_DCHECK
+#define COUPON_DCHECK(cond) COUPON_ASSERT(cond)
+#else
+#define COUPON_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#endif

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file cli.hpp
+/// Tiny command-line flag parser for benches and examples.
+///
+/// Flags use the form `--name=value` or `--name value`; `--flag` alone sets
+/// a boolean to true. Unknown flags abort with a usage message so typos in
+/// experiment sweeps are caught instead of silently running defaults.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace coupon {
+
+/// Declarative flag registry with typed accessors.
+class CliFlags {
+ public:
+  /// Registers flags with their default values and help strings.
+  CliFlags& add_int(const std::string& name, std::int64_t default_value,
+                    const std::string& help);
+  CliFlags& add_double(const std::string& name, double default_value,
+                       const std::string& help);
+  CliFlags& add_bool(const std::string& name, bool default_value,
+                     const std::string& help);
+  CliFlags& add_string(const std::string& name,
+                       const std::string& default_value,
+                       const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or on
+  /// any malformed/unknown flag.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed lookups; assert if the name was never registered.
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Renders the usage/help text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  const Flag& find(const std::string& name, Type type) const;
+  bool set_from_string(Flag& flag, const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace coupon

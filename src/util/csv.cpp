@@ -1,0 +1,34 @@
+#include "util/csv.hpp"
+
+namespace coupon {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      os_ << ',';
+    }
+    os_ << escape(fields[i]);
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+}  // namespace coupon

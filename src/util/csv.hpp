@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal RFC-4180-style CSV writer for exporting experiment traces
+/// (per-iteration simulator reports, sweep results) to external plotting
+/// tools.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace coupon {
+
+/// Streams rows of string fields as CSV, quoting where required.
+class CsvWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row. Fields containing commas, quotes, or newlines are
+  /// quoted with internal quotes doubled.
+  void row(const std::vector<std::string>& fields);
+
+  /// Number of rows written so far (including any header row).
+  std::size_t rows_written() const { return rows_; }
+
+  /// Escapes a single field per RFC 4180 (exposed for tests).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace coupon

@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace coupon {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(level_)) {
+    return;
+  }
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kError:
+      tag = "E";
+      break;
+    case LogLevel::kWarn:
+      tag = "W";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+}
+
+}  // namespace coupon

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logger writing to stderr.
+///
+/// The library itself logs nothing at default verbosity; benches and the
+/// threaded runtime use `info`/`debug` for progress. Thread-safe: each
+/// emitted line is assembled in full before a single locked write.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace coupon {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global logging configuration and sink.
+class Logger {
+ public:
+  /// Returns the process-wide logger.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Emits one line at `level` if it passes the threshold.
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+/// Builds a log line with a stream interface; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+
+}  // namespace coupon

@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace coupon {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  COUPON_ASSERT(!headers_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  COUPON_ASSERT_MSG(cells.size() == headers_.size(),
+                    "row has " << cells.size() << " cells, expected "
+                               << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+void AsciiTable::set_align(std::size_t index, Align align) {
+  COUPON_ASSERT(index < aligns_.size());
+  aligns_[index] = align;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) {
+      s += std::string(w + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      const std::size_t pad = widths[c] - cell.size();
+      s += ' ';
+      if (aligns_[c] == Align::kRight) {
+        s += std::string(pad, ' ') + cell;
+      } else {
+        s += cell + std::string(pad, ' ');
+      }
+      s += " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = hline();
+  out += render_row(headers_);
+  out += hline();
+  for (const auto& row : rows_) {
+    out += row.empty() ? hline() : render_row(row);
+  }
+  out += hline();
+  return out;
+}
+
+std::string format_double(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_percent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace coupon

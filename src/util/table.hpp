@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table formatting used by the benchmark harnesses to print
+/// paper-style result rows (Tables I/II, Fig. 2/4/5 series).
+
+#include <string>
+#include <vector>
+
+namespace coupon {
+
+/// Column alignment inside an AsciiTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders them as a boxed ASCII table.
+///
+/// Example:
+///   AsciiTable t({"scheme", "K", "total (s)"});
+///   t.add_row({"BCC", "11.4", "4.2"});
+///   std::cout << t.render();
+class AsciiTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line between the rows added so far and
+  /// the rows added later.
+  void add_separator();
+
+  /// Sets the alignment of column `index` (default: kRight for all).
+  void set_align(std::size_t index, Align align);
+
+  /// Number of data rows added.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table including borders and header separator.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+  std::vector<Align> aligns_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string format_double(double value, int digits = 3);
+
+/// Formats a ratio (e.g. 0.854) as a percentage string "85.4%".
+std::string format_percent(double fraction, int digits = 1);
+
+}  // namespace coupon

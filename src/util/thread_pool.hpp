@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool with a blocking task queue, plus a
+/// `parallel_for` helper used by the linalg kernels.
+///
+/// The pool is deliberately simple (mutex + condition variable); the
+/// library's parallel sections are coarse-grained (row blocks of GEMV/GEMM,
+/// per-worker gradient computation), so queue contention is negligible.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace coupon {
+
+/// Fixed-size thread pool executing `std::function<void()>` tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers after draining outstanding tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Number of worker threads.
+  std::size_t size() const { return threads_.size(); }
+
+  /// A process-wide pool sized to the hardware concurrency. Intended for
+  /// the linalg kernels; long-running blocking work should use its own
+  /// threads (see runtime::ThreadCluster).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs `body(i)` for i in [begin, end) across `pool`, splitting the range
+/// into one contiguous chunk per thread. Blocks until all chunks finish.
+/// Falls back to a serial loop when the range is small.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t serial_threshold = 1024);
+
+/// Chunked variant: `body(chunk_begin, chunk_end)` once per chunk. Useful
+/// when the per-index work is tiny and the body can vectorize internally.
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t serial_threshold = 1024);
+
+}  // namespace coupon

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing helpers for benches and the threaded runtime.
+
+#include <chrono>
+
+namespace coupon {
+
+/// Monotonic stopwatch measuring elapsed wall-clock seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace coupon

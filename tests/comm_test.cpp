@@ -1,0 +1,290 @@
+// Tests for the message-passing substrate: serialization, the blocking
+// queue, and the in-process network.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "comm/comm.hpp"
+#include "stats/rng.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::comm {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.source = 3;
+  m.dest = 0;
+  m.tag = kTagGradient;
+  m.iteration = 17;
+  m.meta = {4, -2, 1000000007};
+  m.payload = {1.5, -2.25, 0.0, 1e-300, 1e300};
+  return m;
+}
+
+// --- serialization ------------------------------------------------------------
+
+TEST(Serialization, RoundTripPreservesEverything) {
+  const Message m = sample_message();
+  Message out;
+  ASSERT_TRUE(deserialize(serialize(m), out));
+  EXPECT_EQ(out, m);
+}
+
+TEST(Serialization, EmptyArraysRoundTrip) {
+  Message m;
+  m.source = 0;
+  m.dest = 1;
+  m.tag = kTagShutdown;
+  Message out;
+  ASSERT_TRUE(deserialize(serialize(m), out));
+  EXPECT_EQ(out, m);
+}
+
+TEST(Serialization, WireSizeMatchesBufferSize) {
+  const Message m = sample_message();
+  EXPECT_EQ(serialize(m).size(), m.wire_size());
+}
+
+TEST(Serialization, RandomMessagesFuzzRoundTrip) {
+  stats::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Message m;
+    m.source = static_cast<std::int32_t>(rng.uniform_int(100));
+    m.dest = static_cast<std::int32_t>(rng.uniform_int(100));
+    m.tag = static_cast<std::int32_t>(rng.uniform_int(10));
+    m.iteration = static_cast<std::int64_t>(rng.uniform_int(1000));
+    m.meta.resize(rng.uniform_int(20));
+    for (auto& v : m.meta) {
+      v = static_cast<std::int64_t>(rng.next_u64());
+    }
+    m.payload.resize(rng.uniform_int(50));
+    for (auto& v : m.payload) {
+      v = rng.normal();
+    }
+    Message out;
+    ASSERT_TRUE(deserialize(serialize(m), out));
+    EXPECT_EQ(out, m);
+  }
+}
+
+TEST(Serialization, RejectsTruncationAtEveryLength) {
+  const auto bytes = serialize(sample_message());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    Message out;
+    EXPECT_FALSE(deserialize(cut, out)) << "accepted truncation at " << len;
+  }
+}
+
+TEST(Serialization, RejectsBadMagic) {
+  auto bytes = serialize(sample_message());
+  bytes[0] ^= 0xFF;
+  Message out;
+  EXPECT_FALSE(deserialize(bytes, out));
+}
+
+TEST(Serialization, RejectsTrailingGarbage) {
+  auto bytes = serialize(sample_message());
+  bytes.push_back(0);
+  Message out;
+  EXPECT_FALSE(deserialize(bytes, out));
+}
+
+TEST(Serialization, FailedParseLeavesOutputUntouched) {
+  Message out = sample_message();
+  const Message before = out;
+  Message bogus;
+  bogus.meta = {1, 2, 3};
+  auto bytes = serialize(bogus);
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(deserialize(bytes, out));
+  EXPECT_EQ(out, before);
+}
+
+// --- blocking queue -------------------------------------------------------------
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BlockingQueue, TryPopOnEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  const auto result = q.pop_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(BlockingQueue, CloseRejectsPushAndDrains) {
+  BlockingQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop().value(), 7);  // drains existing items
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.pop().has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(BlockingQueue, ConcurrentProducersConsumersConserveItems) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 1000;
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  // Wait for drain, then close to release consumers.
+  while (q.size() > 0) {
+    std::this_thread::yield();
+  }
+  q.close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// --- network --------------------------------------------------------------------
+
+TEST(InProcNetwork, DeliversToDestination) {
+  InProcNetwork net(3);
+  Message m = sample_message();
+  m.source = 1;
+  m.dest = 2;
+  ASSERT_TRUE(net.send(m));
+  const auto got = net.recv(2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, m);
+}
+
+TEST(InProcNetwork, InOrderDeliveryPerSender) {
+  InProcNetwork net(2);
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.source = 0;
+    m.dest = 1;
+    m.iteration = i;
+    net.send(std::move(m));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(net.recv(1)->iteration, i);
+  }
+}
+
+TEST(InProcNetwork, TryRecvEmptyMailbox) {
+  InProcNetwork net(2);
+  EXPECT_FALSE(net.try_recv(0).has_value());
+}
+
+TEST(InProcNetwork, RecvForTimesOut) {
+  InProcNetwork net(1);
+  EXPECT_FALSE(net.recv_for(0, std::chrono::milliseconds(10)).has_value());
+}
+
+TEST(InProcNetwork, StatsCountTraffic) {
+  InProcNetwork net(2);
+  Message m = sample_message();
+  m.source = 0;
+  m.dest = 1;
+  net.send(m);
+  net.send(m);
+  ASSERT_TRUE(net.recv(1).has_value());
+  const auto s0 = net.stats(0);
+  const auto s1 = net.stats(1);
+  EXPECT_EQ(s0.messages_sent, 2u);
+  EXPECT_EQ(s0.bytes_sent, 2 * m.wire_size());
+  EXPECT_EQ(s0.payload_units_sent, 2 * m.payload.size());
+  EXPECT_EQ(s1.messages_received, 1u);
+}
+
+TEST(InProcNetwork, BadRankAsserts) {
+  InProcNetwork net(2);
+  Message m;
+  m.source = 0;
+  m.dest = 5;
+  EXPECT_THROW(net.send(std::move(m)), coupon::AssertionError);
+  Message m2;
+  m2.source = -1;
+  m2.dest = 0;
+  EXPECT_THROW(net.send(std::move(m2)), coupon::AssertionError);
+}
+
+TEST(InProcNetwork, SendToClosedRankReturnsFalse) {
+  InProcNetwork net(2);
+  net.close_rank(1);
+  Message m;
+  m.source = 0;
+  m.dest = 1;
+  EXPECT_FALSE(net.send(std::move(m)));
+}
+
+TEST(InProcNetwork, CrossThreadPingPong) {
+  InProcNetwork net(2);
+  std::thread peer([&net] {
+    auto m = net.recv(1);
+    ASSERT_TRUE(m.has_value());
+    Message reply;
+    reply.source = 1;
+    reply.dest = 0;
+    reply.iteration = m->iteration + 1;
+    net.send(std::move(reply));
+  });
+  Message ping;
+  ping.source = 0;
+  ping.dest = 1;
+  ping.iteration = 41;
+  net.send(std::move(ping));
+  const auto pong = net.recv(0);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->iteration, 42);
+  peer.join();
+}
+
+}  // namespace
+}  // namespace coupon::comm

@@ -1,0 +1,150 @@
+// Cross-configuration property sweep: every scheme × a grid of
+// (n workers, m units, r load) settings must satisfy the placement,
+// accounting, and exact-decode contracts. This is the broad-coverage
+// companion to the single-configuration conformance suite in
+// core_scheme_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "core/core.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/vector_ops.hpp"
+#include "opt/logistic.hpp"
+#include "stats/rng.hpp"
+
+namespace coupon::core {
+namespace {
+
+using Config = std::tuple<SchemeKind, std::size_t, std::size_t, std::size_t>;
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  const auto [kind, n, m, r] = info.param;
+  std::string name;
+  switch (kind) {
+    case SchemeKind::kUncoded:
+      name = "Uncoded";
+      break;
+    case SchemeKind::kBcc:
+      name = "Bcc";
+      break;
+    case SchemeKind::kSimpleRandom:
+      name = "SimpleRandom";
+      break;
+    case SchemeKind::kCyclicRepetition:
+      name = "Cr";
+      break;
+    case SchemeKind::kFractionalRepetition:
+      name = "Fr";
+      break;
+  }
+  return name + "_n" + std::to_string(n) + "_m" + std::to_string(m) + "_r" +
+         std::to_string(r);
+}
+
+class SchemeSweepTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(SchemeSweepTest, EndToEndDecodeIsExactAcrossConfigurations) {
+  const auto [kind, n, m, r] = GetParam();
+  stats::Rng rng(1000 + 31 * n + 7 * m + r);
+  data::SyntheticConfig dconf;
+  dconf.num_features = 5;
+  const auto problem = data::generate_logreg(m, dconf, rng);
+  PerExampleSource source(problem.dataset);
+
+  SchemeConfig config{n, m, r, true};
+  auto scheme = make_scheme(kind, config, rng);
+  // Random placements must cover before training can start; redraw as a
+  // deployment would.
+  for (int attempt = 0;
+       attempt < 128 && !scheme->placement().covers_all_examples();
+       ++attempt) {
+    scheme = make_scheme(kind, config, rng);
+  }
+  ASSERT_TRUE(scheme->placement().covers_all_examples());
+
+  std::vector<double> w(5);
+  for (auto& v : w) {
+    v = rng.normal();
+  }
+  std::vector<double> serial(5);
+  opt::logistic_gradient(problem.dataset, w, serial);
+  linalg::scal(static_cast<double>(m), serial);
+
+  // Three shuffled delivery orders per configuration.
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    auto collector = scheme->make_collector();
+    for (std::size_t i : order) {
+      if (collector->ready()) {
+        break;
+      }
+      const auto msg = scheme->encode(i, source, w);
+      collector->offer(i, msg.meta, msg.payload);
+    }
+    ASSERT_TRUE(collector->ready())
+        << config_name({GetParam(), 0}) << " trial " << trial;
+    std::vector<double> decoded(5);
+    collector->decode_sum(decoded);
+    EXPECT_LT(linalg::max_abs_diff(decoded, serial),
+              1e-6 * (1.0 + linalg::max_abs(serial)))
+        << config_name({GetParam(), 0}) << " trial " << trial;
+    EXPECT_LE(collector->workers_heard(), n);
+    EXPECT_GE(collector->units_received(),
+              static_cast<double>(collector->workers_heard()));
+  }
+}
+
+TEST_P(SchemeSweepTest, ComputationalLoadNeverExceedsConfiguredR) {
+  const auto [kind, n, m, r] = GetParam();
+  stats::Rng rng(2000 + 31 * n + 7 * m + r);
+  SchemeConfig config{n, m, r, true};
+  auto scheme = make_scheme(kind, config, rng);
+  if (kind == SchemeKind::kUncoded) {
+    // Uncoded's load is ceil(m/n) by construction, independent of r.
+    EXPECT_EQ(scheme->computational_load(), (m + n - 1) / n);
+  } else {
+    EXPECT_LE(scheme->computational_load(), r);
+  }
+}
+
+// Grid: m == n configurations, legal for every scheme family
+// (CR and FR require m == n; FR additionally r | n — the grid keeps
+// r dividing n).
+std::vector<Config> square_configs() {
+  std::vector<Config> configs;
+  for (SchemeKind kind :
+       {SchemeKind::kUncoded, SchemeKind::kBcc, SchemeKind::kSimpleRandom,
+        SchemeKind::kCyclicRepetition, SchemeKind::kFractionalRepetition}) {
+    for (std::size_t n : {8u, 12u, 24u}) {
+      for (std::size_t r : {2u, 4u}) {
+        configs.emplace_back(kind, n, n, r);
+      }
+    }
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(SquareConfigs, SchemeSweepTest,
+                         ::testing::ValuesIn(square_configs()),
+                         config_name);
+
+// Rectangular (m != n) configurations for the schemes that support them.
+INSTANTIATE_TEST_SUITE_P(
+    RectangularConfigs, SchemeSweepTest,
+    ::testing::Values(
+        std::make_tuple(SchemeKind::kUncoded, 5u, 20u, 1u),
+        std::make_tuple(SchemeKind::kUncoded, 7u, 23u, 1u),
+        std::make_tuple(SchemeKind::kBcc, 30u, 10u, 3u),
+        std::make_tuple(SchemeKind::kBcc, 40u, 17u, 5u),
+        std::make_tuple(SchemeKind::kBcc, 16u, 64u, 16u),
+        std::make_tuple(SchemeKind::kSimpleRandom, 50u, 12u, 3u),
+        std::make_tuple(SchemeKind::kSimpleRandom, 25u, 9u, 4u)),
+    config_name);
+
+}  // namespace
+}  // namespace coupon::core

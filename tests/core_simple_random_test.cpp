@@ -1,0 +1,140 @@
+// Deep tests for the simple randomized baseline: per-example placement,
+// per-unit deduplication at the master, and the communication-load
+// blow-up (Eq. 6) that motivates BCC.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/simple_random.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/vector_ops.hpp"
+#include "opt/logistic.hpp"
+#include "stats/rng.hpp"
+
+namespace coupon::core {
+namespace {
+
+// Builds an int64 meta vector inline (std::span cannot bind a brace list).
+std::vector<std::int64_t> mv(std::initializer_list<std::int64_t> v) {
+  return std::vector<std::int64_t>(v);
+}
+
+TEST(SimpleRandom, EachWorkerHoldsRDistinctUnits) {
+  stats::Rng rng(1);
+  SimpleRandomScheme scheme(30, 20, 6, rng);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto& g = scheme.placement().worker(i);
+    EXPECT_EQ(g.size(), 6u);
+    std::set<std::size_t> distinct(g.begin(), g.end());
+    EXPECT_EQ(distinct.size(), 6u);
+    for (std::size_t u : g) {
+      EXPECT_LT(u, 20u);
+    }
+  }
+  EXPECT_EQ(scheme.computational_load(), 6u);
+}
+
+TEST(SimpleRandom, MessageUnitsEqualLoad) {
+  stats::Rng rng(2);
+  SimpleRandomScheme scheme(10, 15, 4, rng);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(scheme.message_units(i), 4.0);
+    EXPECT_EQ(scheme.message_meta(i).size(), 4u);
+  }
+}
+
+TEST(SimpleRandom, CommunicationLoadIsLoadTimesWorkersHeard) {
+  // Each heard worker contributes r gradient units to L whether or not
+  // its units were fresh — the Eq. 6 blow-up.
+  stats::Rng rng(3);
+  SimpleRandomScheme scheme(200, 12, 3, rng);
+  auto collector = scheme.make_collector();
+  for (std::size_t i = 0; i < 200 && !collector->ready(); ++i) {
+    collector->offer(i, scheme.message_meta(i), {});
+  }
+  ASSERT_TRUE(collector->ready());
+  EXPECT_DOUBLE_EQ(collector->units_received(),
+                   3.0 * static_cast<double>(collector->workers_heard()));
+}
+
+TEST(SimpleRandom, OfferWithAllUnitsAlreadyCoveredIsNotKept) {
+  stats::Rng rng(4);
+  SimpleRandomScheme scheme(5, 4, 2, rng);
+  auto collector = scheme.make_collector();
+  EXPECT_TRUE(collector->offer(0, mv({0, 1}), {}));
+  EXPECT_TRUE(collector->offer(1, mv({2, 1}), {}));   // unit 2 fresh
+  EXPECT_FALSE(collector->offer(2, mv({0, 2}), {}));  // nothing fresh
+  EXPECT_FALSE(collector->ready());               // unit 3 missing
+  EXPECT_TRUE(collector->offer(3, mv({3, 0}), {}));
+  EXPECT_TRUE(collector->ready());
+  EXPECT_EQ(collector->workers_heard(), 4u);
+  EXPECT_DOUBLE_EQ(collector->units_received(), 8.0);
+}
+
+TEST(SimpleRandom, DecodeKeepsFirstGradientPerUnit) {
+  stats::Rng rng(5);
+  data::SyntheticConfig dconf;
+  dconf.num_features = 4;
+  const auto prob = data::generate_logreg(6, dconf, rng);
+  PerExampleSource source(prob.dataset);
+  // Large n so the fixed seed covers all units with near certainty.
+  SimpleRandomScheme scheme(60, 6, 2, rng);
+
+  std::vector<double> w(4);
+  for (auto& v : w) {
+    v = rng.normal();
+  }
+  std::vector<double> serial(4);
+  opt::logistic_gradient(prob.dataset, w, serial);
+  linalg::scal(6.0, serial);
+
+  auto collector = scheme.make_collector();
+  for (std::size_t i = 0; i < 60 && !collector->ready(); ++i) {
+    const auto msg = scheme.encode(i, source, w);
+    collector->offer(i, msg.meta, msg.payload);
+  }
+  ASSERT_TRUE(collector->ready());
+  std::vector<double> decoded(4);
+  collector->decode_sum(decoded);
+  EXPECT_LT(linalg::max_abs_diff(decoded, serial), 1e-10);
+}
+
+TEST(SimpleRandom, PayloadConcatenatesPerUnitGradients) {
+  stats::Rng rng(6);
+  data::SyntheticConfig dconf;
+  dconf.num_features = 3;
+  const auto prob = data::generate_logreg(5, dconf, rng);
+  PerExampleSource source(prob.dataset);
+  SimpleRandomScheme scheme(4, 5, 2, rng);
+  const std::vector<double> w = {0.5, -0.5, 0.25};
+
+  const auto msg = scheme.encode(0, source, w);
+  ASSERT_EQ(msg.payload.size(), 6u);
+  ASSERT_EQ(msg.meta.size(), 2u);
+  for (std::size_t k = 0; k < 2; ++k) {
+    std::vector<double> expected(3);
+    opt::partial_gradient(prob.dataset,
+                          static_cast<std::size_t>(msg.meta[k]), w, expected);
+    const std::span<const double> slice(msg.payload.data() + k * 3, 3);
+    EXPECT_LT(linalg::max_abs_diff(slice, expected), 1e-13);
+  }
+}
+
+TEST(SimpleRandom, InvalidLoadAsserts) {
+  stats::Rng rng(7);
+  EXPECT_THROW(SimpleRandomScheme(5, 4, 0, rng), AssertionError);
+  EXPECT_THROW(SimpleRandomScheme(5, 4, 5, rng), AssertionError);
+}
+
+TEST(SimpleRandom, FullLoadMakesEveryWorkerSufficient) {
+  stats::Rng rng(8);
+  SimpleRandomScheme scheme(5, 4, 4, rng);  // r = m: one worker covers all
+  auto collector = scheme.make_collector();
+  collector->offer(0, scheme.message_meta(0), {});
+  EXPECT_TRUE(collector->ready());
+  EXPECT_EQ(collector->workers_heard(), 1u);
+}
+
+}  // namespace
+}  // namespace coupon::core

@@ -1,0 +1,223 @@
+// Tests for the closed-form characterizations of Theorem 1, Lemma 2, and
+// the prior-art comparisons (Eqs. 2-8), validated against Monte Carlo.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::core::theory {
+namespace {
+
+TEST(Harmonic, ExactSmallValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(5), 137.0 / 60.0, 1e-14);
+  EXPECT_NEAR(harmonic(10), 2.9289682539682538, 1e-12);
+}
+
+TEST(Harmonic, ApproximationConvergesFromAbove) {
+  for (std::size_t t : {10u, 100u, 1000u, 10000u}) {
+    const double exact = harmonic(t);
+    const auto td = static_cast<double>(t);
+    const double approx = harmonic_approx(td);
+    EXPECT_NEAR(approx, exact, 1.0 / (8.0 * td * td) + 1e-9) << "t=" << t;
+  }
+}
+
+TEST(BccBatches, CeilingDivision) {
+  EXPECT_EQ(bcc_batches(100, 10), 10u);
+  EXPECT_EQ(bcc_batches(101, 10), 11u);
+  EXPECT_EQ(bcc_batches(10, 100), 1u);
+  EXPECT_EQ(bcc_batches(1, 1), 1u);
+}
+
+TEST(KBcc, MatchesEq2) {
+  // m = 100, r = 10: K_BCC = 10 * H_10.
+  EXPECT_NEAR(k_bcc(100, 10), 10.0 * harmonic(10), 1e-12);
+  // r = m: a single batch, K = 1.
+  EXPECT_DOUBLE_EQ(k_bcc(100, 100), 1.0);
+}
+
+TEST(Theorem1, LowerBoundNeverExceedsBcc) {
+  for (std::size_t m : {10u, 50u, 100u, 1000u}) {
+    for (std::size_t r = 1; r <= m; r = r * 2 + 1) {
+      EXPECT_LE(k_lower_bound(m, r), k_bcc(m, r) + 1e-12)
+          << "m=" << m << " r=" << r;
+    }
+  }
+}
+
+TEST(Theorem1, BccWithinLogFactorOfLowerBound) {
+  // Eq. 3: K_BCC <= ceil(K*) * H_{ceil(m/r)}.
+  for (std::size_t m : {60u, 100u, 500u}) {
+    for (std::size_t r : {2u, 5u, 10u, 20u}) {
+      const double lower = k_lower_bound(m, r);
+      const double upper =
+          std::ceil(lower) * harmonic(bcc_batches(m, r));
+      EXPECT_LE(k_bcc(m, r), upper + 1e-9) << "m=" << m << " r=" << r;
+    }
+  }
+}
+
+TEST(KCyclicRepetition, MatchesEq7) {
+  EXPECT_DOUBLE_EQ(k_cyclic_repetition(100, 10), 91.0);
+  EXPECT_DOUBLE_EQ(k_cyclic_repetition(50, 10), 41.0);
+  EXPECT_DOUBLE_EQ(k_cyclic_repetition(10, 10), 1.0);
+}
+
+TEST(Fig2, BccBeatsCrInTheOperatingRegime) {
+  // Fig. 2 (m = n = 100): BCC sits below CR for moderate-to-large r, and
+  // everything sits above the lower bound.
+  const std::size_t m = 100;
+  for (std::size_t r : {5u, 10u, 20u, 50u}) {
+    EXPECT_LT(k_bcc(m, r), k_cyclic_repetition(m, r)) << "r=" << r;
+    EXPECT_GE(k_bcc(m, r), k_lower_bound(m, r));
+    EXPECT_GE(k_cyclic_repetition(m, r), k_lower_bound(m, r));
+  }
+  // For tiny r the coupon log factor makes BCC worse — the regime the
+  // paper's plot starts above.
+  EXPECT_GT(k_bcc(m, 2), k_cyclic_repetition(m, 2));
+}
+
+TEST(KSimpleRandom, ApproximationForm) {
+  EXPECT_NEAR(k_simple_random_approx(100, 10),
+              10.0 * std::log(100.0), 1e-12);
+  EXPECT_NEAR(l_simple_random_approx(100), 100.0 * std::log(100.0), 1e-12);
+}
+
+TEST(LBcc, EqualsKBcc) {
+  EXPECT_DOUBLE_EQ(l_bcc(100, 10), k_bcc(100, 10));
+}
+
+TEST(CouponCollector, ExpectedDrawsIsNHn) {
+  EXPECT_DOUBLE_EQ(coupon_expected_draws(1), 1.0);
+  EXPECT_NEAR(coupon_expected_draws(10), 10.0 * harmonic(10), 1e-12);
+}
+
+TEST(CouponCollector, MonteCarloMatchesExpectation) {
+  stats::Rng rng(1);
+  for (std::size_t types : {2u, 5u, 20u}) {
+    const double mc = mc_coupon_draws(types, 4000, rng);
+    const double exact = coupon_expected_draws(types);
+    EXPECT_NEAR(mc, exact, 0.05 * exact) << "types=" << types;
+  }
+}
+
+TEST(CouponCollector, SingleDrawIsAtLeastTypes) {
+  stats::Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    EXPECT_GE(coupon_draws_once(7, rng), 7u);
+  }
+}
+
+TEST(Lemma2, BoundHoldsEmpirically) {
+  // Pr(M >= (1+eps) m log m) <= m^{-eps}; validate with slack for MC noise.
+  stats::Rng rng(3);
+  const std::size_t m = 20;
+  const int trials = 20000;
+  for (double eps : {0.1, 0.5, 1.0}) {
+    const double cutoff =
+        (1.0 + eps) * static_cast<double>(m) * std::log(static_cast<double>(m));
+    int exceed = 0;
+    for (int t = 0; t < trials; ++t) {
+      if (static_cast<double>(coupon_draws_once(m, rng)) >= cutoff) {
+        ++exceed;
+      }
+    }
+    const double empirical = static_cast<double>(exceed) / trials;
+    const double bound = lemma2_tail_bound(m, eps);
+    EXPECT_LE(empirical, bound + 3.0 * std::sqrt(bound / trials) + 1e-3)
+        << "eps=" << eps;
+  }
+}
+
+TEST(Lemma2, BoundIsMonotoneInEps) {
+  EXPECT_GT(lemma2_tail_bound(50, 0.1), lemma2_tail_bound(50, 0.5));
+  EXPECT_DOUBLE_EQ(lemma2_tail_bound(50, 0.0), 1.0);
+}
+
+TEST(SimpleRandomMc, BracketedByBoundAndApproximation) {
+  // The exact expectation of the group-draw coupon process lies between
+  // the lower bound m/r and the (m/r) log m i.i.d. approximation.
+  stats::Rng rng(4);
+  const std::size_t m = 50, r = 5;
+  const double mc = mc_simple_random_threshold(m, r, 2000, rng);
+  EXPECT_GE(mc, k_lower_bound(m, r));
+  EXPECT_LE(mc, 1.2 * k_simple_random_approx(m, r));
+}
+
+TEST(SimpleRandomMc, MonotoneDecreasingInLoad) {
+  stats::Rng rng(5);
+  const std::size_t m = 40;
+  double prev = 1e300;
+  for (std::size_t r : {2u, 5u, 10u, 20u}) {
+    const double mc = mc_simple_random_threshold(m, r, 1500, rng);
+    EXPECT_LT(mc, prev) << "r=" << r;
+    prev = mc;
+  }
+}
+
+TEST(FractionalRepetitionMc, BelowWorstCaseAboveBlockCount) {
+  stats::Rng rng(6);
+  const std::size_t n = 20, r = 4;
+  const double mc = mc_fractional_repetition_threshold(n, r, 2000, rng);
+  EXPECT_GE(mc, static_cast<double>(n / r));
+  EXPECT_LT(mc, k_cyclic_repetition(n, r));
+}
+
+TEST(ExpectedMaxShiftedExponential, MatchesMonteCarlo) {
+  stats::Rng rng(7);
+  const double a = 2.0, mu = 3.0, load = 4.0;
+  const std::size_t n = 20;
+  const double analytic = expected_max_shifted_exponential(a, mu, load, n);
+  EXPECT_DOUBLE_EQ(analytic, a * load + load / mu * harmonic(n));
+
+  const auto dist = stats::ShiftedExponential::for_load(a, mu, load);
+  stats::OnlineStats mc;
+  for (int trial = 0; trial < 20000; ++trial) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      worst = std::max(worst, dist.sample(rng));
+    }
+    mc.add(worst);
+  }
+  EXPECT_NEAR(mc.mean(), analytic, 5.0 * mc.sem());
+}
+
+
+TEST(CouponCollector, VarianceMatchesMonteCarlo) {
+  stats::Rng rng(8);
+  const std::size_t types = 10;
+  const double analytic = coupon_draws_variance(types);
+  stats::OnlineStats mc;
+  for (int t = 0; t < 40000; ++t) {
+    mc.add(static_cast<double>(coupon_draws_once(types, rng)));
+  }
+  EXPECT_NEAR(mc.variance(), analytic, 0.06 * analytic);
+  EXPECT_NEAR(mc.mean(), coupon_expected_draws(types), 4.0 * mc.sem());
+}
+
+TEST(CouponCollector, VarianceClosedFormSmallCases) {
+  // N = 1: deterministic single draw.
+  EXPECT_DOUBLE_EQ(coupon_draws_variance(1), 0.0);
+  // N = 2: M = 1 + Geometric(1/2); Var = (1-p)/p^2 = 2.
+  EXPECT_DOUBLE_EQ(coupon_draws_variance(2), 2.0);
+}
+
+TEST(Theory, DegenerateArgumentsAssert) {
+  EXPECT_THROW(k_bcc(0, 1), coupon::AssertionError);
+  EXPECT_THROW(k_bcc(1, 0), coupon::AssertionError);
+  EXPECT_THROW(k_cyclic_repetition(5, 6), coupon::AssertionError);
+  EXPECT_THROW(harmonic_approx(0.0), coupon::AssertionError);
+  EXPECT_THROW(lemma2_tail_bound(0, 0.5), coupon::AssertionError);
+}
+
+}  // namespace
+}  // namespace coupon::core::theory

@@ -1,0 +1,145 @@
+// Tests for the parametric distributions, in particular the paper's
+// shift-exponential completion-time model (Eq. 15).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::stats {
+namespace {
+
+TEST(Exponential, CdfQuantileRoundTrip) {
+  Exponential d{2.5};
+  for (double p : {0.0, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(Exponential, MomentsAreAnalytic) {
+  Exponential d{4.0};
+  EXPECT_DOUBLE_EQ(d.mean(), 0.25);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0625);
+}
+
+TEST(Exponential, CdfIsZeroForNonPositive) {
+  Exponential d{1.0};
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+}
+
+TEST(Exponential, SampleMeanMatches) {
+  Exponential d{3.0};
+  Rng rng(5);
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) {
+    s.add(d.sample(rng));
+  }
+  EXPECT_NEAR(s.mean(), d.mean(), 0.01);
+}
+
+TEST(ShiftedExponential, ForLoadImplementsEq15) {
+  // Eq. 15: shift = a*r, rate = mu/r.
+  const auto d = ShiftedExponential::for_load(/*a=*/20.0, /*mu=*/2.0,
+                                              /*load=*/5.0);
+  EXPECT_DOUBLE_EQ(d.shift, 100.0);
+  EXPECT_DOUBLE_EQ(d.rate, 0.4);
+  EXPECT_DOUBLE_EQ(d.mean(), 100.0 + 2.5);
+}
+
+TEST(ShiftedExponential, SamplesRespectTheFloor) {
+  const auto d = ShiftedExponential::for_load(1.0, 1.0, 3.0);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(d.sample(rng), d.shift);
+  }
+}
+
+TEST(ShiftedExponential, CdfQuantileRoundTrip) {
+  ShiftedExponential d{/*shift=*/2.0, /*rate=*/0.5};
+  for (double p : {0.0, 0.25, 0.5, 0.75, 0.999}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(ShiftedExponential, CdfZeroAtOrBelowShift) {
+  ShiftedExponential d{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.0);
+  EXPECT_GT(d.cdf(2.01), 0.0);
+}
+
+TEST(ShiftedExponential, SampleMomentsMatch) {
+  const auto d = ShiftedExponential::for_load(0.5, 2.0, 4.0);
+  Rng rng(11);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) {
+    s.add(d.sample(rng));
+  }
+  EXPECT_NEAR(s.mean(), d.mean(), 0.02);
+  EXPECT_NEAR(s.variance(), d.variance(), 0.1);
+}
+
+TEST(ShiftedExponential, ForLoadRejectsBadParameters) {
+  EXPECT_THROW(ShiftedExponential::for_load(-1.0, 1.0, 1.0),
+               coupon::AssertionError);
+  EXPECT_THROW(ShiftedExponential::for_load(1.0, 0.0, 1.0),
+               coupon::AssertionError);
+  EXPECT_THROW(ShiftedExponential::for_load(1.0, 1.0, 0.0),
+               coupon::AssertionError);
+}
+
+// Scaling property the heterogeneous analysis relies on: doubling the
+// load doubles both the floor and the tail scale.
+TEST(ShiftedExponential, LoadScalesFloorAndTailLinearly) {
+  const auto d1 = ShiftedExponential::for_load(2.0, 3.0, 1.0);
+  const auto d2 = ShiftedExponential::for_load(2.0, 3.0, 2.0);
+  EXPECT_DOUBLE_EQ(d2.shift, 2.0 * d1.shift);
+  EXPECT_DOUBLE_EQ(d2.rate, d1.rate / 2.0);
+  EXPECT_DOUBLE_EQ(d2.mean() - d2.shift, 2.0 * (d1.mean() - d1.shift));
+}
+
+
+// --- distributional goodness of fit -------------------------------------------------
+
+TEST(KsDistance, SamplesMatchTheirOwnCdf) {
+  const auto d = ShiftedExponential::for_load(2.0, 1.5, 3.0);
+  Rng rng(17);
+  std::vector<double> samples(4000);
+  for (auto& x : samples) {
+    x = d.sample(rng);
+  }
+  const double ks =
+      ks_distance(samples, [&d](double t) { return d.cdf(t); });
+  // 95% acceptance line for n = 4000 is 1.36/sqrt(n) ~ 0.0215.
+  EXPECT_LT(ks, 0.025);
+}
+
+TEST(KsDistance, DetectsAWrongDistribution) {
+  const auto d = ShiftedExponential::for_load(2.0, 1.5, 3.0);
+  const Exponential wrong{1.0};
+  Rng rng(19);
+  std::vector<double> samples(4000);
+  for (auto& x : samples) {
+    x = d.sample(rng);
+  }
+  const double ks =
+      ks_distance(samples, [&wrong](double t) { return wrong.cdf(t); });
+  EXPECT_GT(ks, 0.2);
+}
+
+TEST(KsDistance, ExactForDegenerateSample) {
+  // One sample at the median: D = 0.5 against its own CDF.
+  const Exponential d{1.0};
+  const double med = d.quantile(0.5);
+  const double ks =
+      ks_distance({med}, [&d](double t) { return d.cdf(t); });
+  EXPECT_NEAR(ks, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace coupon::stats
