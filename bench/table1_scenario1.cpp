@@ -7,45 +7,45 @@
 //   uncoded  50   28.556    0.230     28.786
 //   CR       41   12.031    1.959     13.990
 //   BCC      11    3.043    1.162      4.205
+//
+// Built on the unified experiment driver: scenario/cluster setup, the
+// scheme sweep, and table/CSV rendering are shared with table2 and fig4.
 
 #include <cstdio>
 
-#include "simulate/simulate.hpp"
+#include "driver/driver.hpp"
 #include "util/util.hpp"
 
 int main(int argc, char** argv) {
   coupon::CliFlags flags;
-  flags.add_int("iterations", 100, "GD iterations per run (paper: 100)");
+  flags.add_int("iterations", 100, "GD iterations per run (paper: 100)")
+      .add_string("csv", "", "also write the breakdown as CSV to this path");
   if (!flags.parse(argc, argv)) {
     return 1;
   }
 
-  auto scenario = coupon::simulate::ec2_scenario_one();
-  scenario.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
+  auto config = coupon::driver::config_from_sim_scenario(
+      coupon::simulate::ec2_scenario_one());
+  config.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
 
   using coupon::core::SchemeKind;
-  const auto rows = coupon::simulate::run_scenario(
-      scenario, {SchemeKind::kUncoded, SchemeKind::kCyclicRepetition,
-                 SchemeKind::kBcc});
+  const auto rows = coupon::driver::run_scheme_comparison(
+      config, {SchemeKind::kUncoded, SchemeKind::kCyclicRepetition,
+               SchemeKind::kBcc});
 
-  std::printf("Table I — running-time breakdown, %s\n\n",
-              scenario.name.c_str());
-  coupon::AsciiTable table({"scheme", "recovery threshold",
-                            "communication time (s)", "computation time (s)",
-                            "total running time (s)"});
-  table.set_align(0, coupon::Align::kLeft);
-  for (const auto& row : rows) {
-    table.add_row({row.scheme,
-                   coupon::format_double(row.recovery_threshold, 1),
-                   coupon::format_double(row.comm_time, 3),
-                   coupon::format_double(row.compute_time, 3),
-                   coupon::format_double(row.total_time, 3)});
-  }
-  std::fputs(table.render().c_str(), stdout);
+  std::printf("Table I — running-time breakdown, scenario one (n=%zu, m=%zu "
+              "batches)\n\n", config.num_workers, config.num_units);
+  std::fputs(coupon::driver::comparison_table(rows).render().c_str(), stdout);
   std::printf(
       "\nPaper (EC2 t2.micro): uncoded K=50 total=28.786s, CR K=41 "
       "total=13.990s, BCC K=11 total=4.205s.\n"
       "Shape targets: K ordering 11 < 41 < 50, communication >> "
       "computation, total ~ proportional to K.\n");
+
+  const std::string csv_path = flags.get_string("csv");
+  if (!csv_path.empty() &&
+      !coupon::driver::write_comparison_csv_to_path(csv_path, rows)) {
+    return 1;
+  }
   return 0;
 }

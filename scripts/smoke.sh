@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Smoke-run every bench/ and examples/ binary (plus coupon_run) with tiny
+# parameters, asserting exit 0 — so the figure/table code can't silently
+# rot. Usage: scripts/smoke.sh [build-dir]  (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+run() {
+  echo "==> $*"
+  "$@" > /dev/null
+}
+
+# --- unified experiment runner: both runtimes, CSV to file and stdout ----
+run "${BUILD_DIR}/tools/coupon_run" --scheme bcc --scenario shifted_exp \
+    --runtime sim --iterations 5 --out "${TMP_DIR}/sim.csv"
+test -s "${TMP_DIR}/sim.csv"
+run "${BUILD_DIR}/tools/coupon_run" --scheme bcc --scenario shifted_exp \
+    --runtime threaded --workers 4 --units 4 --load 2 --iterations 5 \
+    --features 8 --examples_per_unit 5 --out "${TMP_DIR}/threaded.csv"
+test -s "${TMP_DIR}/threaded.csv"
+run "${BUILD_DIR}/tools/coupon_run" --scheme cr --scenario lossy \
+    --runtime sim --iterations 5 --out -
+
+# --- benches -------------------------------------------------------------
+run "${BUILD_DIR}/bench/bench_ablation_coverage" --trials 200
+run "${BUILD_DIR}/bench/bench_ablation_drop" --iterations 10
+run "${BUILD_DIR}/bench/bench_ablation_master_bw" --iterations 5
+run "${BUILD_DIR}/bench/bench_ablation_r_sweep" --iterations 5 --placements 2
+run "${BUILD_DIR}/bench/bench_coupon_tail" --trials 500
+run "${BUILD_DIR}/bench/bench_fig2_tradeoff" --trials 50
+run "${BUILD_DIR}/bench/bench_fig4_runtime" --iterations 5
+run "${BUILD_DIR}/bench/bench_fig5_heterogeneous" --trials 50 --refine_steps 10
+run "${BUILD_DIR}/bench/bench_table1_scenario1" --iterations 5 \
+    --csv "${TMP_DIR}/table1.csv"
+test -s "${TMP_DIR}/table1.csv"
+run "${BUILD_DIR}/bench/bench_table2_scenario2" --iterations 5
+
+# Google Benchmark microbenches are optional (skipped when the library is
+# absent at configure time).
+if [ -x "${BUILD_DIR}/bench/bench_encode_decode" ]; then
+  run "${BUILD_DIR}/bench/bench_encode_decode" --benchmark_min_time=0.01
+fi
+if [ -x "${BUILD_DIR}/bench/bench_micro_linalg" ]; then
+  run "${BUILD_DIR}/bench/bench_micro_linalg" --benchmark_min_time=0.01
+fi
+
+# --- examples ------------------------------------------------------------
+run "${BUILD_DIR}/examples/example_compare_schemes" --iterations 5
+run "${BUILD_DIR}/examples/example_heterogeneous_cluster" --trials 50
+run "${BUILD_DIR}/examples/example_quickstart" --workers 4 --examples 80 \
+    --features 20 --iterations 5
+run "${BUILD_DIR}/examples/example_straggler_profile" --workers 8 --load 2 \
+    --features 20 --iterations 3
+
+echo "smoke OK"

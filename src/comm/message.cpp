@@ -11,9 +11,11 @@ constexpr std::uint32_t kMagic = 0xBCCC0DE5u;
 template <typename T>
 void append_raw(std::vector<std::uint8_t>& buf, T value) {
   static_assert(std::is_trivially_copyable_v<T>);
-  std::uint8_t bytes[sizeof(T)];
-  std::memcpy(bytes, &value, sizeof(T));
-  buf.insert(buf.end(), bytes, bytes + sizeof(T));
+  // resize + memcpy instead of insert(pointer range): GCC 12 -O3 flags the
+  // insert form with a spurious -Wstringop-overflow.
+  const std::size_t old_size = buf.size();
+  buf.resize(old_size + sizeof(T));
+  std::memcpy(buf.data() + old_size, &value, sizeof(T));
 }
 
 template <typename T>

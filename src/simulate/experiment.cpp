@@ -8,9 +8,6 @@
 
 namespace coupon::simulate {
 
-namespace {
-
-/// Shared cluster calibration for both EC2 scenarios (see header note).
 ClusterConfig ec2_cluster() {
   ClusterConfig c;
   c.compute_shift = 1.0e-3;        // 1 ms deterministic compute per unit
@@ -19,8 +16,6 @@ ClusterConfig ec2_cluster() {
   c.broadcast_seconds = 0.0;
   return c;
 }
-
-}  // namespace
 
 ScenarioConfig ec2_scenario_one() {
   ScenarioConfig s;
@@ -86,18 +81,26 @@ double speedup_fraction(const SchemeRunRow& ours,
   return 1.0 - ours.total_time / baseline.total_time;
 }
 
+const std::vector<std::string>& iteration_csv_header() {
+  static const std::vector<std::string> header = {
+      "iteration",     "total_time",     "compute_time", "comm_time",
+      "workers_heard", "units_received", "recovered"};
+  return header;
+}
+
+std::vector<std::string> iteration_csv_fields(std::size_t index,
+                                              const IterationReport& it) {
+  return {std::to_string(index),          format_double(it.total_time, 9),
+          format_double(it.compute_time, 9), format_double(it.comm_time, 9),
+          std::to_string(it.workers_heard),
+          format_double(it.units_received, 3), it.recovered ? "1" : "0"};
+}
+
 void write_iteration_csv(std::ostream& os, const RunReport& run) {
   CsvWriter csv(os);
-  csv.row({"iteration", "total_time", "compute_time", "comm_time",
-           "workers_heard", "units_received", "recovered"});
+  csv.row(iteration_csv_header());
   for (std::size_t t = 0; t < run.iterations.size(); ++t) {
-    const IterationReport& it = run.iterations[t];
-    csv.row({std::to_string(t), format_double(it.total_time, 9),
-             format_double(it.compute_time, 9),
-             format_double(it.comm_time, 9),
-             std::to_string(it.workers_heard),
-             format_double(it.units_received, 3),
-             it.recovered ? "1" : "0"});
+    csv.row(iteration_csv_fields(t, run.iterations[t]));
   }
 }
 

@@ -35,6 +35,10 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
 };
 
+/// The shared EC2 cluster calibration behind both scenarios (and the
+/// driver's "shifted_exp" straggler scenario).
+ClusterConfig ec2_cluster();
+
 /// Scenario one of the paper: n = 50 workers, m = 50 data batches (100
 /// points each), r = 10 for CR and BCC, 100 iterations.
 ScenarioConfig ec2_scenario_one();
@@ -65,9 +69,19 @@ std::vector<SchemeRunRow> run_scenario(const ScenarioConfig& scenario,
 /// (e.g. 0.854 means 85.4% faster, the paper's headline comparison).
 double speedup_fraction(const SchemeRunRow& ours, const SchemeRunRow& baseline);
 
-/// Exports a run's per-iteration reports as CSV with columns
-/// iteration,total_time,compute_time,comm_time,workers_heard,
-/// units_received,recovered — for external plotting of latency traces.
+/// Column names of the per-iteration trace CSV: iteration,total_time,
+/// compute_time,comm_time,workers_heard,units_received,recovered. Shared
+/// by `write_iteration_csv` and the driver's CSV emitter so the schema
+/// cannot drift.
+const std::vector<std::string>& iteration_csv_header();
+
+/// Renders iteration `index` as CSV fields matching
+/// `iteration_csv_header()`.
+std::vector<std::string> iteration_csv_fields(std::size_t index,
+                                              const IterationReport& it);
+
+/// Exports a run's per-iteration reports as CSV (header above) — for
+/// external plotting of latency traces.
 void write_iteration_csv(std::ostream& os, const RunReport& run);
 
 }  // namespace coupon::simulate

@@ -1,0 +1,230 @@
+// Tests for the experiment-driver layer: name registries, scenario
+// construction, config plumbing, and the CSV-producing entry points.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "driver/driver.hpp"
+#include "simulate/experiment.hpp"
+
+namespace driver = coupon::driver;
+using coupon::core::SchemeKind;
+
+TEST(Registry, SchemeNamesRoundTrip) {
+  for (SchemeKind kind :
+       {SchemeKind::kUncoded, SchemeKind::kBcc, SchemeKind::kSimpleRandom,
+        SchemeKind::kCyclicRepetition, SchemeKind::kFractionalRepetition}) {
+    const auto parsed = driver::parse_scheme(driver::scheme_cli_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(Registry, SchemeAliasesAndUnknowns) {
+  EXPECT_EQ(driver::parse_scheme("cyclic_repetition"),
+            SchemeKind::kCyclicRepetition);
+  EXPECT_EQ(driver::parse_scheme("srs"), SchemeKind::kSimpleRandom);
+  EXPECT_FALSE(driver::parse_scheme("").has_value());
+  EXPECT_FALSE(driver::parse_scheme("BCC").has_value());  // case-sensitive
+  EXPECT_FALSE(driver::parse_scheme("bogus").has_value());
+}
+
+TEST(Registry, RuntimeSpellings) {
+  EXPECT_EQ(driver::parse_runtime("sim"), driver::RuntimeKind::kSimulated);
+  EXPECT_EQ(driver::parse_runtime("simulated"),
+            driver::RuntimeKind::kSimulated);
+  EXPECT_EQ(driver::parse_runtime("threaded"),
+            driver::RuntimeKind::kThreaded);
+  EXPECT_EQ(driver::parse_runtime("threads"), driver::RuntimeKind::kThreaded);
+  EXPECT_FALSE(driver::parse_runtime("mpi").has_value());
+  EXPECT_EQ(driver::runtime_name(driver::RuntimeKind::kSimulated), "sim");
+  EXPECT_EQ(driver::runtime_name(driver::RuntimeKind::kThreaded), "threaded");
+}
+
+TEST(Registry, EveryListedScenarioIsConstructible) {
+  for (const auto& name : driver::scenario_names()) {
+    const auto scenario = driver::make_scenario(name, 40);
+    ASSERT_TRUE(scenario.has_value()) << name;
+    EXPECT_EQ(scenario->name, name);
+    EXPECT_FALSE(scenario->description.empty());
+  }
+  EXPECT_FALSE(driver::make_scenario("bogus", 40).has_value());
+}
+
+TEST(Registry, ShiftedExpMatchesEc2Calibration) {
+  const auto scenario = driver::make_scenario("shifted_exp", 50);
+  ASSERT_TRUE(scenario.has_value());
+  const auto ec2 = coupon::simulate::ec2_cluster();
+  EXPECT_DOUBLE_EQ(scenario->cluster.compute_shift, ec2.compute_shift);
+  EXPECT_DOUBLE_EQ(scenario->cluster.compute_straggle, ec2.compute_straggle);
+  EXPECT_DOUBLE_EQ(scenario->cluster.unit_transfer_seconds,
+                   ec2.unit_transfer_seconds);
+}
+
+TEST(Registry, HeteroScenarioBuildsPerWorkerOverrides) {
+  const std::size_t n = 40;
+  const auto scenario = driver::make_scenario("hetero", n);
+  ASSERT_TRUE(scenario.has_value());
+  ASSERT_EQ(scenario->cluster.worker_overrides.size(), n);
+  std::size_t fast = 0;
+  for (const auto& w : scenario->cluster.worker_overrides) {
+    if (w.compute_straggle > 1.0) {
+      ++fast;
+    }
+  }
+  EXPECT_EQ(fast, n / 20);  // 5% fast workers
+  // Tiny clusters still get at least one fast worker.
+  const auto tiny = driver::make_scenario("hetero", 3);
+  ASSERT_TRUE(tiny.has_value());
+  ASSERT_EQ(tiny->cluster.worker_overrides.size(), 3u);
+  EXPECT_GT(tiny->cluster.worker_overrides.back().compute_straggle, 1.0);
+}
+
+TEST(Registry, ScenarioKnobsDifferFromBaseline) {
+  const auto base = driver::make_scenario("shifted_exp", 20);
+  const auto lossy = driver::make_scenario("lossy", 20);
+  const auto fast = driver::make_scenario("fast_network", 20);
+  const auto calm = driver::make_scenario("no_stragglers", 20);
+  ASSERT_TRUE(base && lossy && fast && calm);
+  EXPECT_GT(lossy->cluster.drop_probability, 0.0);
+  EXPECT_LT(fast->cluster.unit_transfer_seconds,
+            base->cluster.unit_transfer_seconds);
+  EXPECT_FALSE(calm->straggler.enabled);
+  EXPECT_TRUE(base->straggler.enabled);
+}
+
+TEST(Driver, ConfigFromSimScenarioCopiesParameters) {
+  const auto scenario = coupon::simulate::ec2_scenario_two();
+  const auto config = driver::config_from_sim_scenario(scenario);
+  EXPECT_EQ(config.num_workers, scenario.num_workers);
+  EXPECT_EQ(config.num_units, scenario.num_units);
+  EXPECT_EQ(config.load, scenario.load);
+  EXPECT_EQ(config.iterations, scenario.iterations);
+  EXPECT_EQ(config.seed, scenario.seed);
+}
+
+namespace {
+
+driver::ExperimentConfig small_sim_config() {
+  driver::ExperimentConfig config;
+  config.scheme = SchemeKind::kBcc;
+  config.scenario = "shifted_exp";
+  config.runtime = driver::RuntimeKind::kSimulated;
+  config.num_workers = 10;
+  config.num_units = 10;
+  config.load = 2;
+  config.iterations = 7;
+  config.seed = 123;
+  return config;
+}
+
+}  // namespace
+
+TEST(Driver, SimulatedRunEmitsOneRowPerIteration) {
+  const auto config = small_sim_config();
+  const auto result = driver::run_experiment(config);
+  EXPECT_EQ(result.rows.size(), config.iterations);
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row.size(), result.header.size());
+  }
+  EXPECT_GT(result.summary.total_time, 0.0);
+  EXPECT_GT(result.summary.recovery_threshold, 0.0);
+  EXPECT_EQ(result.summary.kind, SchemeKind::kBcc);
+}
+
+TEST(Driver, SimulatedRunIsDeterministicInSeed) {
+  const auto config = small_sim_config();
+  const auto a = driver::run_experiment(config);
+  const auto b = driver::run_experiment(config);
+  EXPECT_EQ(a.rows, b.rows);
+  auto other = config;
+  other.seed = 321;
+  const auto c = driver::run_experiment(other);
+  EXPECT_NE(a.rows, c.rows);
+}
+
+TEST(Driver, ThreadedRunEmitsSummaryRow) {
+  driver::ExperimentConfig config;
+  config.scheme = SchemeKind::kBcc;
+  config.runtime = driver::RuntimeKind::kThreaded;
+  config.num_workers = 4;
+  config.num_units = 4;
+  config.load = 2;
+  config.iterations = 3;
+  config.features = 6;
+  config.examples_per_unit = 5;
+  const auto result = driver::run_experiment(config);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].size(), result.header.size());
+  EXPECT_GT(result.summary.total_time, 0.0);
+}
+
+TEST(Driver, UnknownScenarioThrows) {
+  auto config = small_sim_config();
+  config.scenario = "bogus";
+  EXPECT_THROW(driver::run_experiment(config), std::invalid_argument);
+}
+
+TEST(Driver, SimOnlyScenarioRejectedUnderThreadedRuntime) {
+  for (const std::string name : {"hetero", "lossy", "fast_network"}) {
+    auto config = small_sim_config();
+    config.scenario = name;
+    config.runtime = driver::RuntimeKind::kThreaded;
+    EXPECT_THROW(driver::run_experiment(config), std::invalid_argument)
+        << name;
+  }
+  // The same scenarios remain runnable on the simulator.
+  auto config = small_sim_config();
+  config.scenario = "lossy";
+  EXPECT_EQ(driver::run_experiment(config).rows.size(), config.iterations);
+}
+
+TEST(Driver, SimTraceHeaderExtendsIterationCsvHeader) {
+  const auto result = driver::run_experiment(small_sim_config());
+  const auto& trace = coupon::simulate::iteration_csv_header();
+  ASSERT_EQ(result.header.size(), trace.size() + 3);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(result.header[i + 3], trace[i]);
+  }
+}
+
+TEST(Driver, WriteCsvEmitsHeaderPlusRows) {
+  const auto result = driver::run_experiment(small_sim_config());
+  std::ostringstream os;
+  driver::write_csv(os, result);
+  std::size_t lines = 0;
+  for (char c : os.str()) {
+    lines += c == '\n';
+  }
+  EXPECT_EQ(lines, result.rows.size() + 1);
+  EXPECT_EQ(os.str().substr(0, 6), "scheme");
+}
+
+TEST(Driver, SchemeComparisonMatchesRunScenario) {
+  // The driver's comparison path must reproduce simulate::run_scenario
+  // exactly for the same parameters (same RNG-split discipline).
+  auto scenario = coupon::simulate::ec2_scenario_one();
+  scenario.iterations = 5;
+  const std::vector<SchemeKind> kinds = {SchemeKind::kUncoded,
+                                         SchemeKind::kBcc};
+  const auto direct = coupon::simulate::run_scenario(scenario, kinds);
+
+  auto config = driver::config_from_sim_scenario(scenario);
+  config.scenario = "shifted_exp";
+  const auto via_driver = driver::run_scheme_comparison(config, kinds);
+
+  ASSERT_EQ(direct.size(), via_driver.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].scheme, via_driver[i].scheme);
+    EXPECT_DOUBLE_EQ(direct[i].total_time, via_driver[i].total_time);
+    EXPECT_DOUBLE_EQ(direct[i].recovery_threshold,
+                     via_driver[i].recovery_threshold);
+  }
+}
+
+TEST(Driver, ComparisonCsvPathRejectsUnwritableFile) {
+  EXPECT_FALSE(
+      driver::write_comparison_csv_to_path("/nonexistent-dir/x.csv", {}));
+}
