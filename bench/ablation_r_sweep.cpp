@@ -11,10 +11,16 @@
 // by few workers inflates the wait), and at small r the placement may
 // not even cover every batch — the `failed` column counts iterations the
 // master could not recover at all.
+//
+// Built on the driver's SweepPlan: schemes × r-axis × placement-seed
+// axis, all cells in parallel on the thread pool; the placement average
+// is a fold over the returned records.
 
 #include <cstdio>
+#include <vector>
 
-#include "simulate/simulate.hpp"
+#include "driver/driver.hpp"
+#include "driver/sweep.hpp"
 #include "util/util.hpp"
 
 int main(int argc, char** argv) {
@@ -29,34 +35,44 @@ int main(int argc, char** argv) {
   const auto placements =
       static_cast<std::size_t>(flags.get_int("placements"));
 
-  using coupon::core::SchemeKind;
-  for (auto base : {coupon::simulate::ec2_scenario_one(),
-                    coupon::simulate::ec2_scenario_two()}) {
+  for (const auto& base : {coupon::simulate::ec2_scenario_one(),
+                           coupon::simulate::ec2_scenario_two()}) {
+    coupon::driver::SweepPlan plan;
+    plan.base = coupon::driver::config_from_sim_scenario(base);
+    plan.base.iterations = iterations;
+    plan.schemes = {"bcc", "cr"};
+    for (std::size_t r : {2u, 5u, 10u, 20u, 25u, 50u}) {
+      if (r <= base.num_units) {
+        plan.loads.push_back(r);
+      }
+    }
+    for (std::size_t p = 0; p < placements; ++p) {
+      plan.seeds.push_back(base.seed + 1000 * (p + 1));
+    }
+
+    const auto records = coupon::driver::run_sweep(plan);
+
     std::printf("r sweep — %s, %zu iterations x %zu placements\n\n",
                 base.name.c_str(), iterations, placements);
     coupon::AsciiTable table({"r", "BCC K", "BCC total (s)", "BCC failed",
                               "CR K", "CR total (s)"});
-    for (std::size_t r : {2u, 5u, 10u, 20u, 25u, 50u}) {
-      if (r > base.num_units) {
-        continue;
-      }
+    // Cell order is scheme-major, then r, then placement seed:
+    // records[s * loads * placements + l * placements + p].
+    const std::size_t stride = plan.loads.size() * placements;
+    for (std::size_t l = 0; l < plan.loads.size(); ++l) {
       double bcc_k = 0.0, bcc_total = 0.0, cr_k = 0.0, cr_total = 0.0;
       std::size_t bcc_failed = 0;
       for (std::size_t p = 0; p < placements; ++p) {
-        auto scenario = base;
-        scenario.load = r;
-        scenario.iterations = iterations;
-        scenario.seed = base.seed + 1000 * (p + 1);
-        const auto rows = coupon::simulate::run_scenario(
-            scenario, {SchemeKind::kBcc, SchemeKind::kCyclicRepetition});
-        bcc_k += rows[0].recovery_threshold;
-        bcc_total += rows[0].total_time;
-        bcc_failed += rows[0].failures;
-        cr_k += rows[1].recovery_threshold;
-        cr_total += rows[1].total_time;
+        const auto& bcc = records[0 * stride + l * placements + p];
+        const auto& cr = records[1 * stride + l * placements + p];
+        bcc_k += bcc.recovery_threshold;
+        bcc_total += bcc.total_time;
+        bcc_failed += bcc.failures;
+        cr_k += cr.recovery_threshold;
+        cr_total += cr.total_time;
       }
       const auto denom = static_cast<double>(placements);
-      table.add_row({std::to_string(r),
+      table.add_row({std::to_string(plan.loads[l]),
                      coupon::format_double(bcc_k / denom, 1),
                      coupon::format_double(bcc_total / denom, 3),
                      std::to_string(bcc_failed / placements),

@@ -9,13 +9,15 @@
 // reproduction targets (paper: BCC 85.4% / 69.9% faster in scenario one,
 // 73.0% / 69.7% in scenario two).
 //
-// Built on the unified experiment driver: scenario/cluster setup and the
-// scheme sweep are shared with table1 and table2.
+// Built on the driver's SweepPlan: per paper scenario (each with its own
+// canonical seed and cluster calibration), the scheme axis runs in
+// parallel on the thread pool.
 
 #include <cstdio>
+#include <vector>
 
 #include "driver/driver.hpp"
-#include "simulate/experiment.hpp"
+#include "driver/sweep.hpp"
 #include "util/util.hpp"
 
 int main(int argc, char** argv) {
@@ -25,42 +27,42 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  using coupon::core::SchemeKind;
-  const std::vector<SchemeKind> kinds = {SchemeKind::kUncoded,
-                                         SchemeKind::kCyclicRepetition,
-                                         SchemeKind::kBcc};
-
   std::printf("Fig. 4 — total running time, uncoded vs cyclic repetition "
               "vs BCC (simulated EC2 cluster)\n\n");
 
   for (const auto& scenario : {coupon::simulate::ec2_scenario_one(),
                                coupon::simulate::ec2_scenario_two()}) {
-    auto config = coupon::driver::config_from_sim_scenario(scenario);
-    config.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
-    const auto rows = coupon::driver::run_scheme_comparison(config, kinds);
+    coupon::driver::SweepPlan plan;
+    plan.base = coupon::driver::config_from_sim_scenario(scenario);
+    plan.base.iterations =
+        static_cast<std::size_t>(flags.get_int("iterations"));
+    plan.schemes = {"uncoded", "cr", "bcc"};
+
+    const auto records = coupon::driver::run_sweep(plan);
+    const auto& uncoded = records[0];
+    const auto& cr = records[1];
+    const auto& bcc = records[2];
 
     std::printf("scenario (n=%zu, m=%zu batches), %zu iterations:\n",
-                config.num_workers, config.num_units, config.iterations);
+                uncoded.num_workers, uncoded.num_units, uncoded.iterations);
     coupon::AsciiTable table({"scheme", "total running time (s)"});
     table.set_align(0, coupon::Align::kLeft);
-    for (const auto& row : rows) {
-      table.add_row({row.scheme, coupon::format_double(row.total_time, 3)});
+    for (const auto* record : {&uncoded, &cr, &bcc}) {
+      table.add_row({record->scheme_display,
+                     coupon::format_double(record->total_time, 3)});
     }
     std::fputs(table.render().c_str(), stdout);
 
-    const auto& uncoded = rows[0];
-    const auto& cr = rows[1];
-    const auto& bcc = rows[2];
     std::printf("  BCC speedup vs uncoded: %s (paper: %s)\n",
                 coupon::format_percent(
-                    coupon::simulate::speedup_fraction(bcc, uncoded))
+                    coupon::driver::speedup_fraction(bcc, uncoded))
                     .c_str(),
-                config.num_workers == 50 ? "85.4%" : "73.0%");
+                uncoded.num_workers == 50 ? "85.4%" : "73.0%");
     std::printf("  BCC speedup vs cyclic repetition: %s (paper: %s)\n\n",
                 coupon::format_percent(
-                    coupon::simulate::speedup_fraction(bcc, cr))
+                    coupon::driver::speedup_fraction(bcc, cr))
                     .c_str(),
-                config.num_workers == 50 ? "69.9%" : "69.7%");
+                uncoded.num_workers == 50 ? "69.9%" : "69.7%");
   }
   return 0;
 }

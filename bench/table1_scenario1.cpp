@@ -8,12 +8,14 @@
 //   CR       41   12.031    1.959     13.990
 //   BCC      11    3.043    1.162      4.205
 //
-// Built on the unified experiment driver: scenario/cluster setup, the
-// scheme sweep, and table/CSV rendering are shared with table2 and fig4.
+// Built on the driver's SweepPlan: the scheme axis runs in parallel on
+// the thread pool with per-cell deterministic seeding, and the
+// table/CSV rendering is shared with table2 and fig4.
 
 #include <cstdio>
 
 #include "driver/driver.hpp"
+#include "driver/sweep.hpp"
 #include "util/util.hpp"
 
 int main(int argc, char** argv) {
@@ -24,18 +26,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto config = coupon::driver::config_from_sim_scenario(
+  coupon::driver::SweepPlan plan;
+  plan.base = coupon::driver::config_from_sim_scenario(
       coupon::simulate::ec2_scenario_one());
-  config.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
+  plan.base.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
+  plan.schemes = {"uncoded", "cr", "bcc"};
 
-  using coupon::core::SchemeKind;
-  const auto rows = coupon::driver::run_scheme_comparison(
-      config, {SchemeKind::kUncoded, SchemeKind::kCyclicRepetition,
-               SchemeKind::kBcc});
+  const auto records = coupon::driver::run_sweep(plan);
 
   std::printf("Table I — running-time breakdown, scenario one (n=%zu, m=%zu "
-              "batches)\n\n", config.num_workers, config.num_units);
-  std::fputs(coupon::driver::comparison_table(rows).render().c_str(), stdout);
+              "batches)\n\n", plan.base.num_workers, plan.base.num_units);
+  std::fputs(coupon::driver::summary_table(records).render().c_str(), stdout);
   std::printf(
       "\nPaper (EC2 t2.micro): uncoded K=50 total=28.786s, CR K=41 "
       "total=13.990s, BCC K=11 total=4.205s.\n"
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
 
   const std::string csv_path = flags.get_string("csv");
   if (!csv_path.empty() &&
-      !coupon::driver::write_comparison_csv_to_path(csv_path, rows)) {
+      !coupon::driver::write_records_to_path(
+          csv_path, records, coupon::driver::RecordFormat::kSummaryCsv)) {
     return 1;
   }
   return 0;

@@ -8,12 +8,14 @@
 //   CR        91   24.698    4.784     29.482
 //   BCC       25    7.246    1.685      8.931
 //
-// Built on the unified experiment driver: scenario/cluster setup, the
-// scheme sweep, and table/CSV rendering are shared with table1 and fig4.
+// Built on the driver's SweepPlan: the scheme axis runs in parallel on
+// the thread pool with per-cell deterministic seeding, and the
+// table/CSV rendering is shared with table1 and fig4.
 
 #include <cstdio>
 
 #include "driver/driver.hpp"
+#include "driver/sweep.hpp"
 #include "util/util.hpp"
 
 int main(int argc, char** argv) {
@@ -24,18 +26,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto config = coupon::driver::config_from_sim_scenario(
+  coupon::driver::SweepPlan plan;
+  plan.base = coupon::driver::config_from_sim_scenario(
       coupon::simulate::ec2_scenario_two());
-  config.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
+  plan.base.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
+  plan.schemes = {"uncoded", "cr", "bcc"};
 
-  using coupon::core::SchemeKind;
-  const auto rows = coupon::driver::run_scheme_comparison(
-      config, {SchemeKind::kUncoded, SchemeKind::kCyclicRepetition,
-               SchemeKind::kBcc});
+  const auto records = coupon::driver::run_sweep(plan);
 
   std::printf("Table II — running-time breakdown, scenario two (n=%zu, "
-              "m=%zu batches)\n\n", config.num_workers, config.num_units);
-  std::fputs(coupon::driver::comparison_table(rows).render().c_str(), stdout);
+              "m=%zu batches)\n\n", plan.base.num_workers,
+              plan.base.num_units);
+  std::fputs(coupon::driver::summary_table(records).render().c_str(), stdout);
   std::printf(
       "\nPaper (EC2 t2.micro): uncoded K=100 total=33.020s, CR K=91 "
       "total=29.482s, BCC K=25 total=8.931s.\n"
@@ -44,7 +46,8 @@ int main(int argc, char** argv) {
 
   const std::string csv_path = flags.get_string("csv");
   if (!csv_path.empty() &&
-      !coupon::driver::write_comparison_csv_to_path(csv_path, rows)) {
+      !coupon::driver::write_records_to_path(
+          csv_path, records, coupon::driver::RecordFormat::kSummaryCsv)) {
     return 1;
   }
   return 0;

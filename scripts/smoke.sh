@@ -23,6 +23,20 @@ run "${BUILD_DIR}/tools/coupon_run" --scheme bcc --scenario shifted_exp \
 test -s "${TMP_DIR}/threaded.csv"
 run "${BUILD_DIR}/tools/coupon_run" --scheme cr --scenario lossy \
     --runtime sim --iterations 5 --out -
+run "${BUILD_DIR}/tools/coupon_run" --list
+
+# Parallel sweep: 2 schemes x 2 scenarios x 2 loads -> exactly 8 JSONL
+# rows and 8 CSV rows + header.
+run "${BUILD_DIR}/tools/coupon_run" --sweep --schemes bcc,cr \
+    --scenarios shifted_exp,lossy --loads 2,10 --iterations 5 \
+    --out "${TMP_DIR}/sweep.csv" --jsonl "${TMP_DIR}/sweep.jsonl"
+test "$(wc -l < "${TMP_DIR}/sweep.jsonl")" -eq 8
+test "$(wc -l < "${TMP_DIR}/sweep.csv")" -eq 9
+# Deterministic parallelism: a serial re-run is bit-identical.
+run "${BUILD_DIR}/tools/coupon_run" --sweep --schemes bcc,cr \
+    --scenarios shifted_exp,lossy --loads 2,10 --iterations 5 --threads 1 \
+    --out "${TMP_DIR}/sweep_serial.csv"
+cmp "${TMP_DIR}/sweep.csv" "${TMP_DIR}/sweep_serial.csv"
 
 # --- benches -------------------------------------------------------------
 run "${BUILD_DIR}/bench/bench_ablation_coverage" --trials 200

@@ -1,10 +1,6 @@
 #include "core/scheme.hpp"
 
-#include "core/bcc.hpp"
-#include "core/cyclic_repetition.hpp"
-#include "core/fractional_repetition.hpp"
-#include "core/simple_random.hpp"
-#include "core/uncoded.hpp"
+#include "core/scheme_registry.hpp"
 #include "util/assert.hpp"
 
 namespace coupon::core {
@@ -31,35 +27,27 @@ std::string_view scheme_kind_name(SchemeKind kind) {
   return "unknown";
 }
 
+std::string_view scheme_registry_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kUncoded:
+      return "uncoded";
+    case SchemeKind::kBcc:
+      return "bcc";
+    case SchemeKind::kSimpleRandom:
+      return "simple_random";
+    case SchemeKind::kCyclicRepetition:
+      return "cr";
+    case SchemeKind::kFractionalRepetition:
+      return "fr";
+  }
+  return "unknown";
+}
+
 std::unique_ptr<Scheme> make_scheme(SchemeKind kind,
                                     const SchemeConfig& config,
                                     stats::Rng& rng) {
-  COUPON_ASSERT_MSG(config.num_workers > 0 && config.num_units > 0,
-                    "n=" << config.num_workers << " m=" << config.num_units);
-  switch (kind) {
-    case SchemeKind::kUncoded:
-      return std::make_unique<UncodedScheme>(config.num_workers,
-                                             config.num_units);
-    case SchemeKind::kBcc:
-      return std::make_unique<BccScheme>(config.num_workers, config.num_units,
-                                         config.load,
-                                         config.bcc_seed_first_batches, rng);
-    case SchemeKind::kSimpleRandom:
-      return std::make_unique<SimpleRandomScheme>(
-          config.num_workers, config.num_units, config.load, rng);
-    case SchemeKind::kCyclicRepetition:
-      COUPON_ASSERT_MSG(config.num_units == config.num_workers,
-                        "CR requires m == n (use super-examples)");
-      return std::make_unique<CyclicRepetitionScheme>(config.num_workers,
-                                                      config.load, rng);
-    case SchemeKind::kFractionalRepetition:
-      COUPON_ASSERT_MSG(config.num_units == config.num_workers,
-                        "FR requires m == n (use super-examples)");
-      return std::make_unique<FractionalRepetitionScheme>(config.num_workers,
-                                                          config.load);
-  }
-  COUPON_ASSERT_MSG(false, "unreachable scheme kind");
-  return nullptr;
+  return SchemeRegistry::instance().create(scheme_registry_name(kind), config,
+                                           rng);
 }
 
 }  // namespace coupon::core

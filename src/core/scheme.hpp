@@ -89,6 +89,11 @@ class Collector {
 };
 
 /// Identifies the built-in schemes.
+///
+/// DEPRECATED shim: new code selects schemes by registry name through
+/// `core::SchemeRegistry` (scheme_registry.hpp); the enum is closed and
+/// cannot name schemes registered by plugins. Kept for the tests and
+/// simulate helpers that still enumerate the built-ins.
 enum class SchemeKind {
   kUncoded,
   kBcc,
@@ -99,6 +104,11 @@ enum class SchemeKind {
 
 /// Human-readable scheme name ("uncoded", "BCC", ...).
 std::string_view scheme_kind_name(SchemeKind kind);
+
+/// Canonical registry/CLI name of a built-in scheme ("uncoded", "bcc",
+/// "simple_random", "cr", "fr") — the bridge from the deprecated enum to
+/// `SchemeRegistry` lookups.
+std::string_view scheme_registry_name(SchemeKind kind);
 
 /// A configured gradient-coding scheme instance.
 ///
@@ -165,6 +175,9 @@ struct SchemeConfig {
 };
 
 /// Builds a configured scheme, drawing any randomness from `rng`.
+///
+/// DEPRECATED shim over `SchemeRegistry::create` (same factories, same
+/// RNG draws); new code should create schemes by name via the registry.
 std::unique_ptr<Scheme> make_scheme(SchemeKind kind, const SchemeConfig& config,
                                     stats::Rng& rng);
 

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file scheme_registry.hpp
+/// Open registry of gradient-coding schemes (DESIGN.md §3).
+///
+/// A scheme is published under a canonical CLI name plus optional aliases,
+/// together with a factory and capability flags. The driver, benches, and
+/// tools select schemes by name through this registry, so adding a scheme
+/// is one `SchemeRegistration` call in the new scheme's translation unit —
+/// no enum, switch, or name-table edits. The legacy `SchemeKind` enum and
+/// `make_scheme` remain as deprecated shims over this registry (see
+/// scheme.hpp).
+///
+/// Registration discipline: register at static-initialization time (via
+/// `SchemeRegistration`) or during single-threaded startup, before
+/// experiments run. Lookups are const and may then be issued concurrently
+/// from sweep worker threads.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "stats/rng.hpp"
+
+namespace coupon::core {
+
+/// Static properties of a scheme that callers need before instantiating
+/// one (sweep validation, `coupon_run --list`, runtime failure handling).
+struct SchemeCapabilities {
+  /// Collectors can decode a partial gradient before ready() — the
+  /// runtime's kApplyPartial fallback works (BCC, FR, uncoded, SRS).
+  bool supports_partial_decode = false;
+  /// Placement requires m == n (CR, FR operate on one unit per worker;
+  /// use super-examples to satisfy this).
+  bool requires_units_equal_workers = false;
+  /// Placement requires r to divide n (FR's disjoint blocks).
+  bool requires_load_divides_workers = false;
+};
+
+/// One registry entry: identity, documentation, capabilities, factory.
+struct SchemeEntry {
+  std::string name;                  ///< canonical CLI spelling, e.g. "bcc"
+  std::vector<std::string> aliases;  ///< extra spellings, e.g. long names
+  std::string description;           ///< one-line --list text
+  SchemeCapabilities caps;
+  /// Builds a configured instance, drawing randomness from `rng`. The
+  /// factory asserts its own structural requirements (e.g. CR's m == n).
+  std::function<std::unique_ptr<Scheme>(const SchemeConfig&, stats::Rng&)>
+      factory;
+};
+
+/// Process-wide name -> factory registry. The five built-in schemes are
+/// registered on first access, in presentation order
+/// (uncoded, fr, cr, bcc, simple_random).
+class SchemeRegistry {
+ public:
+  static SchemeRegistry& instance();
+
+  /// Registers `entry`. Throws std::invalid_argument when the name or any
+  /// alias collides with an existing name/alias, or when the entry has no
+  /// name or no factory.
+  void add(SchemeEntry entry);
+
+  /// Looks up a canonical name or alias; nullptr when unknown. The
+  /// returned pointer stays valid for the process lifetime.
+  const SchemeEntry* find(std::string_view name_or_alias) const;
+
+  /// Builds a configured scheme by name. Throws std::invalid_argument
+  /// with a diagnostic listing the valid choices on an unknown name, and
+  /// asserts n > 0 / m > 0 before invoking the factory.
+  std::unique_ptr<Scheme> create(std::string_view name_or_alias,
+                                 const SchemeConfig& config,
+                                 stats::Rng& rng) const;
+
+  /// Canonical names in registration order.
+  std::vector<std::string> names() const;
+
+  /// "uncoded|fr|cr|bcc|simple_random|..." for --help strings.
+  std::string choices() const;
+
+  /// "unknown scheme 'x' (choices: ...)" — the shared diagnostic.
+  std::string unknown_message(std::string_view name) const;
+
+ private:
+  SchemeRegistry();  // registers the built-ins
+
+  std::vector<SchemeEntry> entries_;  // stable: entries are never removed
+};
+
+/// Self-registration helper: a namespace-scope
+///   static const core::SchemeRegistration my_scheme{{.name = ...}};
+/// in the scheme's translation unit publishes it before main() runs.
+struct SchemeRegistration {
+  explicit SchemeRegistration(SchemeEntry entry) {
+    SchemeRegistry::instance().add(std::move(entry));
+  }
+};
+
+}  // namespace coupon::core

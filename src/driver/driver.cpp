@@ -1,144 +1,12 @@
 #include "driver/driver.hpp"
 
 #include <cstdio>
-#include <fstream>
-#include <iostream>
 #include <stdexcept>
 
-#include "core/gradient_source.hpp"
-#include "data/batching.hpp"
-#include "data/synthetic.hpp"
-#include "opt/logistic.hpp"
-#include "opt/optimizer.hpp"
-#include "runtime/thread_cluster.hpp"
-#include "simulate/cluster_sim.hpp"
-#include "stats/rng.hpp"
+#include "core/scheme_registry.hpp"
 #include "util/assert.hpp"
-#include "util/csv.hpp"
 
 namespace coupon::driver {
-
-namespace {
-
-Scenario scenario_or_throw(const ExperimentConfig& config) {
-  auto scenario = make_scenario(config.scenario, config.num_workers);
-  if (!scenario) {
-    throw std::invalid_argument("unknown scenario: " + config.scenario);
-  }
-  return *std::move(scenario);
-}
-
-core::SchemeConfig scheme_config(const ExperimentConfig& config,
-                                 bool seed_first_batches) {
-  core::SchemeConfig sconf;
-  sconf.num_workers = config.num_workers;
-  sconf.num_units = config.num_units;
-  sconf.load = config.load;
-  sconf.bcc_seed_first_batches = seed_first_batches;
-  return sconf;
-}
-
-ExperimentResult run_simulated(const ExperimentConfig& config,
-                               const Scenario& scenario) {
-  stats::Rng rng(config.seed);
-  auto scheme = core::make_scheme(
-      config.scheme, scheme_config(config, /*seed_first_batches=*/false), rng);
-  const simulate::RunReport run =
-      simulate_run(*scheme, scenario.cluster, config.iterations, rng);
-
-  // Trace columns come from simulate::iteration_csv_header/fields so the
-  // schema matches write_iteration_csv exactly; we only prefix the run's
-  // identity.
-  ExperimentResult result;
-  result.header = {"scheme", "scenario", "runtime"};
-  const auto& trace_header = simulate::iteration_csv_header();
-  result.header.insert(result.header.end(), trace_header.begin(),
-                       trace_header.end());
-  const std::string scheme_name(scheme_cli_name(config.scheme));
-  for (std::size_t t = 0; t < run.iterations.size(); ++t) {
-    std::vector<std::string> row = {scheme_name, config.scenario, "sim"};
-    auto fields = simulate::iteration_csv_fields(t, run.iterations[t]);
-    row.insert(row.end(), std::make_move_iterator(fields.begin()),
-               std::make_move_iterator(fields.end()));
-    result.rows.push_back(std::move(row));
-  }
-
-  result.summary.kind = config.scheme;
-  result.summary.scheme = std::string(scheme->name());
-  result.summary.recovery_threshold = run.workers_heard.mean();
-  result.summary.comm_time = run.total_comm_time;
-  result.summary.compute_time = run.total_compute_time;
-  result.summary.total_time = run.total_time;
-  result.summary.mean_units = run.units_received.mean();
-  result.summary.failures = run.failures;
-  return result;
-}
-
-ExperimentResult run_threaded(const ExperimentConfig& config,
-                              const Scenario& scenario) {
-  if (scenario.sim_only) {
-    throw std::invalid_argument(
-        "scenario '" + scenario.name +
-        "' only varies simulator-side knobs; use --runtime sim");
-  }
-  stats::Rng rng(config.seed);
-
-  // Synthetic logistic-regression workload: m units of `examples_per_unit`
-  // points each ("super examples", footnote 1 of the paper).
-  const std::size_t num_examples = config.num_units * config.examples_per_unit;
-  data::SyntheticConfig dconf;
-  dconf.num_features = config.features;
-  const auto problem = data::generate_logreg(num_examples, dconf, rng);
-  data::BatchPartition partition(num_examples, config.examples_per_unit);
-  COUPON_ASSERT(partition.num_batches() == config.num_units);
-  core::GroupedBatchSource source(problem.dataset, partition);
-
-  // Seeded first batches guarantee per-iteration BCC coverage, matching
-  // the quickstart's real-training setup.
-  auto scheme = core::make_scheme(
-      config.scheme, scheme_config(config, /*seed_first_batches=*/true), rng);
-
-  runtime::ThreadCluster cluster(*scheme, source, config.seed + 42);
-  opt::NesterovGradient optimizer(
-      config.features, opt::LearningRateSchedule::constant(config.learning_rate));
-
-  runtime::TrainOptions options;
-  options.iterations = config.iterations;
-  options.straggler = scenario.straggler;
-
-  const auto run = cluster.train(optimizer, options);
-  const double loss = opt::logistic_loss(problem.dataset, run.weights);
-  const double acc = opt::accuracy(problem.dataset, run.weights);
-
-  ExperimentResult result;
-  result.header = {"scheme",        "scenario",
-                   "runtime",       "workers",
-                   "units",         "load",
-                   "iterations",    "wall_seconds",
-                   "mean_workers_heard", "mean_units_received",
-                   "failed_iterations",  "partial_iterations",
-                   "final_loss",    "train_accuracy"};
-  result.rows.push_back(
-      {std::string(scheme_cli_name(config.scheme)), config.scenario,
-       "threaded", std::to_string(config.num_workers),
-       std::to_string(config.num_units), std::to_string(config.load),
-       std::to_string(config.iterations), format_double(run.wall_seconds, 6),
-       format_double(run.workers_heard.mean(), 3),
-       format_double(run.units_received.mean(), 3),
-       std::to_string(run.failed_iterations),
-       std::to_string(run.partial_iterations), format_double(loss, 6),
-       format_double(acc, 4)});
-
-  result.summary.kind = config.scheme;
-  result.summary.scheme = std::string(scheme->name());
-  result.summary.recovery_threshold = run.workers_heard.mean();
-  result.summary.total_time = run.wall_seconds;
-  result.summary.mean_units = run.units_received.mean();
-  result.summary.failures = run.failed_iterations;
-  return result;
-}
-
-}  // namespace
 
 ExperimentConfig config_from_sim_scenario(const simulate::ScenarioConfig& s) {
   ExperimentConfig config;
@@ -147,6 +15,7 @@ ExperimentConfig config_from_sim_scenario(const simulate::ScenarioConfig& s) {
   config.load = s.load;
   config.iterations = s.iterations;
   config.seed = s.seed;
+  config.cluster_override = s.cluster;
   return config;
 }
 
@@ -162,6 +31,8 @@ void add_experiment_flags(CliFlags& flags) {
       .add_int("load", 10, "computational load r, units per worker")
       .add_int("iterations", 100, "GD iterations per run")
       .add_int("seed", 1, "PRNG seed")
+      .add_string("on_failure", "skip",
+                  "unrecoverable-iteration policy (skip|partial)")
       .add_int("features", 20, "threaded runtime: feature dimension p")
       .add_int("examples_per_unit", 20,
                "threaded runtime: training examples per unit")
@@ -172,35 +43,49 @@ void add_experiment_flags(CliFlags& flags) {
 std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags) {
   ExperimentConfig config;
 
-  const auto scheme = parse_scheme(flags.get_string("scheme"));
-  if (!scheme) {
-    std::fprintf(stderr, "unknown --scheme '%s' (choices: %s)\n",
-                 flags.get_string("scheme").c_str(), scheme_choices().c_str());
+  config.scheme = flags.get_string("scheme");
+  if (core::SchemeRegistry::instance().find(config.scheme) == nullptr) {
+    std::fprintf(stderr, "%s\n",
+                 core::SchemeRegistry::instance()
+                     .unknown_message(config.scheme)
+                     .c_str());
     return std::nullopt;
   }
-  config.scheme = *scheme;
 
   config.scenario = flags.get_string("scenario");
-  const auto scenario = make_scenario(config.scenario, 1);
-  if (!scenario) {
-    std::fprintf(stderr, "unknown --scenario '%s' (choices: %s)\n",
-                 config.scenario.c_str(), scenario_choices().c_str());
+  const auto* scenario = ScenarioRegistry::instance().find(config.scenario);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "%s\n",
+                 ScenarioRegistry::instance()
+                     .unknown_message(config.scenario)
+                     .c_str());
     return std::nullopt;
   }
 
-  const auto runtime = parse_runtime(flags.get_string("runtime"));
-  if (!runtime) {
+  config.runtime = flags.get_string("runtime");
+  const auto runtime = make_runtime(config.runtime);
+  if (runtime == nullptr) {
     std::fprintf(stderr, "unknown --runtime '%s' (choices: %s)\n",
-                 flags.get_string("runtime").c_str(),
-                 runtime_choices().c_str());
+                 config.runtime.c_str(), runtime_choices().c_str());
     return std::nullopt;
   }
-  config.runtime = *runtime;
-  if (config.runtime == RuntimeKind::kThreaded && scenario->sim_only) {
+  config.runtime = runtime->name();  // canonicalize aliases
+  if (config.runtime == "threaded" && scenario->sim_only) {
     std::fprintf(stderr,
                  "--scenario %s only varies simulator-side knobs; use "
                  "--runtime sim\n",
                  config.scenario.c_str());
+    return std::nullopt;
+  }
+
+  const std::string policy = flags.get_string("on_failure");
+  if (policy == "skip") {
+    config.on_failure = runtime::FailurePolicy::kSkipUpdate;
+  } else if (policy == "partial") {
+    config.on_failure = runtime::FailurePolicy::kApplyPartial;
+  } else {
+    std::fprintf(stderr, "unknown --on_failure '%s' (choices: skip|partial)\n",
+                 policy.c_str());
     return std::nullopt;
   }
 
@@ -216,106 +101,33 @@ std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags) {
   return config;
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  const Scenario scenario = scenario_or_throw(config);
-  switch (config.runtime) {
-    case RuntimeKind::kSimulated:
-      return run_simulated(config, scenario);
-    case RuntimeKind::kThreaded:
-      return run_threaded(config, scenario);
+RunRecord run_experiment(const ExperimentConfig& config) {
+  const auto runtime = make_runtime(config.runtime);
+  if (runtime == nullptr) {
+    throw std::invalid_argument("unknown runtime '" + config.runtime +
+                                "' (choices: " + runtime_choices() + ")");
   }
-  throw std::invalid_argument("unknown runtime");
+  return runtime->run(config);
 }
 
-void write_csv(std::ostream& os, const ExperimentResult& result) {
-  CsvWriter csv(os);
-  csv.row(result.header);
-  for (const auto& row : result.rows) {
-    csv.row(row);
-  }
-}
-
-std::vector<simulate::SchemeRunRow> run_scheme_comparison(
-    const ExperimentConfig& config,
-    const std::vector<core::SchemeKind>& kinds) {
-  const Scenario scenario = scenario_or_throw(config);
-
-  simulate::ScenarioConfig sim;
-  sim.name = scenario.name;
-  sim.num_workers = config.num_workers;
-  sim.num_units = config.num_units;
-  sim.load = config.load;
-  sim.iterations = config.iterations;
-  sim.cluster = scenario.cluster;
-  sim.seed = config.seed;
-  return simulate::run_scenario(sim, kinds);
-}
-
-AsciiTable comparison_table(const std::vector<simulate::SchemeRunRow>& rows) {
+AsciiTable summary_table(const std::vector<RunRecord>& records) {
   AsciiTable table({"scheme", "recovery threshold", "communication time (s)",
                     "computation time (s)", "total running time (s)"});
   table.set_align(0, Align::kLeft);
-  for (const auto& row : rows) {
-    table.add_row({row.scheme, format_double(row.recovery_threshold, 1),
-                   format_double(row.comm_time, 3),
-                   format_double(row.compute_time, 3),
-                   format_double(row.total_time, 3)});
+  for (const auto& record : records) {
+    table.add_row({record.scheme_display.empty() ? record.scheme
+                                                 : record.scheme_display,
+                   format_double(record.recovery_threshold, 1),
+                   format_double(record.comm_time, 3),
+                   format_double(record.compute_time, 3),
+                   format_double(record.total_time, 3)});
   }
   return table;
 }
 
-void write_comparison_csv(std::ostream& os,
-                          const std::vector<simulate::SchemeRunRow>& rows) {
-  CsvWriter csv(os);
-  csv.row({"scheme", "recovery_threshold", "comm_time", "compute_time",
-           "total_time", "mean_units", "failures"});
-  for (const auto& row : rows) {
-    csv.row({row.scheme, format_double(row.recovery_threshold, 3),
-             format_double(row.comm_time, 6), format_double(row.compute_time, 6),
-             format_double(row.total_time, 6), format_double(row.mean_units, 3),
-             std::to_string(row.failures)});
-  }
-}
-
-namespace {
-
-template <typename WriteFn>
-bool write_to_path(const std::string& path, WriteFn&& write) {
-  if (path == "-") {
-    write(std::cout);
-    std::cout.flush();
-    if (!std::cout) {
-      std::fprintf(stderr, "error writing CSV to stdout\n");
-      return false;
-    }
-    return true;
-  }
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
-    return false;
-  }
-  write(out);
-  out.close();  // flush and surface truncated writes (e.g. full disk)
-  if (!out) {
-    std::fprintf(stderr, "error writing '%s'\n", path.c_str());
-    return false;
-  }
-  return true;
-}
-
-}  // namespace
-
-bool write_csv_to_path(const std::string& path,
-                       const ExperimentResult& result) {
-  return write_to_path(
-      path, [&](std::ostream& os) { write_csv(os, result); });
-}
-
-bool write_comparison_csv_to_path(
-    const std::string& path, const std::vector<simulate::SchemeRunRow>& rows) {
-  return write_to_path(
-      path, [&](std::ostream& os) { write_comparison_csv(os, rows); });
+double speedup_fraction(const RunRecord& ours, const RunRecord& baseline) {
+  COUPON_ASSERT(baseline.total_time > 0.0);
+  return 1.0 - ours.total_time / baseline.total_time;
 }
 
 }  // namespace coupon::driver

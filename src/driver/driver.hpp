@@ -2,96 +2,57 @@
 
 /// \file driver.hpp
 /// Unified experiment driver: one configuration struct + one entry point
-/// that runs scheme x scenario x runtime and emits CSV. `tools/coupon_run`
-/// is a thin CLI shell over this layer, and the table/figure benches share
-/// its scenario handling and rendering instead of each rolling their own.
+/// that runs scheme x scenario x runtime and returns a typed `RunRecord`
+/// (record.hpp sinks render CSV/JSONL). `tools/coupon_run` is a thin CLI
+/// shell over this layer plus sweep.hpp, and the table/figure benches
+/// share its scenario handling and rendering instead of each rolling
+/// their own.
 
-#include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "driver/experiment_config.hpp"
+#include "driver/record.hpp"
 #include "driver/registry.hpp"
+#include "driver/runtime.hpp"
 #include "simulate/experiment.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace coupon::driver {
 
-/// Everything `run_experiment` needs; defaults reproduce the paper's
-/// scenario one (n = 50 workers, m = 50 units, r = 10).
-struct ExperimentConfig {
-  core::SchemeKind scheme = core::SchemeKind::kBcc;
-  std::string scenario = "shifted_exp";
-  RuntimeKind runtime = RuntimeKind::kSimulated;
-  std::size_t num_workers = 50;
-  std::size_t num_units = 50;
-  std::size_t load = 10;
-  std::size_t iterations = 100;
-  std::uint64_t seed = 1;
-  // Threaded runtime only: the synthetic logistic-regression workload.
-  std::size_t features = 20;
-  std::size_t examples_per_unit = 20;
-  double learning_rate = 2.0;
-};
-
-/// A finished experiment: CSV-ready rows plus the Table I/II-style summary
-/// (for the threaded runtime, times are wall-clock and comm/compute are
-/// not separable, so only total_time is populated).
-struct ExperimentResult {
-  std::vector<std::string> header;
-  std::vector<std::vector<std::string>> rows;
-  simulate::SchemeRunRow summary;
-};
-
 /// Builds a driver config from a canonical simulate scenario definition
-/// (simulate::ec2_scenario_one/two), copying n, m, r, iterations, and
-/// seed — so the paper's Table I/II parameters stay single-sourced.
-///
-/// Only those parameters are copied: the cluster model comes from the
-/// driver's *named* scenario (default "shifted_exp", which equals
-/// simulate::ec2_cluster()). Callers holding a ScenarioConfig with a
-/// customized `cluster` (e.g. the ablation benches' drop/bandwidth
-/// sweeps) must keep using simulate::run_scenario directly — this helper
-/// would silently discard their cluster overrides.
+/// (simulate::ec2_scenario_one/two), copying n, m, r, iterations, seed —
+/// so the paper's Table I/II parameters stay single-sourced — AND the
+/// scenario's cluster model, carried through as `cluster_override`.
+/// Callers holding a ScenarioConfig with a customized `cluster` (e.g. the
+/// ablation benches' drop/bandwidth sweeps) therefore get their overrides
+/// honoured by the simulated runtime instead of silently discarded; the
+/// threaded runtime rejects such configs loudly.
 ExperimentConfig config_from_sim_scenario(const simulate::ScenarioConfig& s);
 
 /// Registers the driver's shared flags (--scheme, --scenario, --runtime,
-/// --workers, --units, --load, --iterations, --seed, and the threaded
-/// workload knobs) with their paper defaults.
+/// --workers, --units, --load, --iterations, --seed, --on_failure, and
+/// the threaded workload knobs) with their paper defaults.
 void add_experiment_flags(CliFlags& flags);
 
 /// Reads the flags registered by `add_experiment_flags` back into a
 /// config. Prints a diagnostic and returns nullopt on an unknown scheme,
-/// scenario, or runtime spelling.
+/// scenario, runtime, or failure-policy spelling.
 std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags);
 
-/// Runs one (scheme, scenario, runtime) cell. Simulated runs emit one CSV
-/// row per iteration; threaded runs emit one summary row including final
-/// loss and accuracy. Throws std::invalid_argument on an unknown scenario.
-ExperimentResult run_experiment(const ExperimentConfig& config);
+/// Runs one (scheme, scenario, runtime) cell through the named runtime.
+/// Throws std::invalid_argument on an unknown name (the message lists
+/// the registered choices).
+RunRecord run_experiment(const ExperimentConfig& config);
 
-/// Writes header + rows through util/csv.
-void write_csv(std::ostream& os, const ExperimentResult& result);
+/// Renders records as the standard Table I/II breakdown (scheme,
+/// recovery threshold, per-phase times, total).
+AsciiTable summary_table(const std::vector<RunRecord>& records);
 
-/// Runs several schemes through the *simulated* runtime on the same
-/// scenario (fresh deterministic RNG stream per scheme, as in
-/// simulate::run_scenario) and returns one summary row per scheme.
-std::vector<simulate::SchemeRunRow> run_scheme_comparison(
-    const ExperimentConfig& config, const std::vector<core::SchemeKind>& kinds);
-
-/// Renders comparison rows as the standard Table I/II breakdown.
-AsciiTable comparison_table(const std::vector<simulate::SchemeRunRow>& rows);
-
-/// Writes comparison rows as CSV (one row per scheme).
-void write_comparison_csv(std::ostream& os,
-                          const std::vector<simulate::SchemeRunRow>& rows);
-
-/// Opens `path` ("-" = stdout) and writes `result` as CSV; returns false
-/// with a diagnostic on stderr if the file cannot be opened.
-bool write_csv_to_path(const std::string& path, const ExperimentResult& result);
-
-/// Same open-or-diagnose contract for comparison rows.
-bool write_comparison_csv_to_path(
-    const std::string& path, const std::vector<simulate::SchemeRunRow>& rows);
+/// Percentage speedup of `ours` over `baseline` in total running time
+/// (e.g. 0.854 means 85.4% faster, the paper's headline comparison).
+double speedup_fraction(const RunRecord& ours, const RunRecord& baseline);
 
 }  // namespace coupon::driver

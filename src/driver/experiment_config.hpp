@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file experiment_config.hpp
+/// The fully-resolved description of one experiment cell: which scheme,
+/// scenario, and runtime (all by registry name), the problem shape, and
+/// the runtime-specific knobs. Consumed by `Runtime::run` and produced by
+/// CLI parsing (driver.hpp) and `SweepPlan` expansion (sweep.hpp).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "runtime/thread_cluster.hpp"
+#include "simulate/cluster_sim.hpp"
+
+namespace coupon::driver {
+
+/// Everything `run_experiment` needs; defaults reproduce the paper's
+/// scenario one (n = 50 workers, m = 50 units, r = 10).
+struct ExperimentConfig {
+  std::string scheme = "bcc";            ///< core::SchemeRegistry name
+  std::string scenario = "shifted_exp";  ///< driver::ScenarioRegistry name
+  std::string runtime = "sim";           ///< runtime name (runtime.hpp)
+  std::size_t num_workers = 50;
+  std::size_t num_units = 50;
+  std::size_t load = 10;
+  std::size_t iterations = 100;
+  std::uint64_t seed = 1;
+
+  /// When set, replaces the named scenario's simulator cluster model —
+  /// the carrier for callers holding a customized simulate cluster (e.g.
+  /// `config_from_sim_scenario`, the ablation benches' drop/bandwidth
+  /// sweeps). Simulated runtime only: the threaded runtime fails loudly
+  /// on a set override instead of silently ignoring it.
+  std::optional<simulate::ClusterConfig> cluster_override;
+
+  // Threaded runtime only: the synthetic logistic-regression workload.
+  std::size_t features = 20;
+  std::size_t examples_per_unit = 20;
+  double learning_rate = 2.0;
+  /// What the master does on an unrecoverable iteration.
+  runtime::FailurePolicy on_failure = runtime::FailurePolicy::kSkipUpdate;
+  /// BCC only: deterministic first-batch coverage aid (DESIGN.md §5.3).
+  /// nullopt = the runtime's default (simulated: false, matching the
+  /// paper's fully random choice; threaded: true, matching the
+  /// quickstart's real-training setup).
+  std::optional<bool> bcc_seed_first_batches;
+};
+
+}  // namespace coupon::driver

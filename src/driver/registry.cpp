@@ -1,151 +1,38 @@
 #include "driver/registry.hpp"
 
-#include <algorithm>
+#include <stdexcept>
 
-#include "simulate/experiment.hpp"
+#include "core/scheme_registry.hpp"
+#include "driver/runtime.hpp"
+#include "util/names.hpp"
 
 namespace coupon::driver {
 
-namespace {
-
-/// Threaded-runtime counterpart of the EC2 calibration: injected
-/// shift-exponential sleeps.
-runtime::StragglerInjection shifted_exp_straggler() {
-  runtime::StragglerInjection s;
-  s.enabled = true;
-  s.shift_ms_per_unit = 0.05;
-  s.straggle = 1.0;
-  return s;
-}
-
-std::string join(const std::vector<std::string>& parts) {
-  std::string out;
-  for (const auto& part : parts) {
-    if (!out.empty()) {
-      out += "|";
-    }
-    out += part;
-  }
-  return out;
-}
-
-}  // namespace
-
-std::string_view runtime_name(RuntimeKind runtime) {
-  switch (runtime) {
-    case RuntimeKind::kSimulated:
-      return "sim";
-    case RuntimeKind::kThreaded:
-      return "threaded";
-  }
-  return "unknown";
-}
-
-std::optional<RuntimeKind> parse_runtime(std::string_view name) {
-  if (name == "sim" || name == "simulated" || name == "simulate") {
-    return RuntimeKind::kSimulated;
-  }
-  if (name == "threaded" || name == "thread" || name == "threads") {
-    return RuntimeKind::kThreaded;
-  }
-  return std::nullopt;
-}
-
-std::optional<core::SchemeKind> parse_scheme(std::string_view name) {
-  using core::SchemeKind;
-  if (name == "uncoded") {
-    return SchemeKind::kUncoded;
-  }
-  if (name == "bcc" || name == "batched_coupon_collection") {
-    return SchemeKind::kBcc;
-  }
-  if (name == "simple_random" || name == "srs") {
-    return SchemeKind::kSimpleRandom;
-  }
-  if (name == "cr" || name == "cyclic_repetition") {
-    return SchemeKind::kCyclicRepetition;
-  }
-  if (name == "fr" || name == "fractional_repetition") {
-    return SchemeKind::kFractionalRepetition;
-  }
-  return std::nullopt;
-}
-
-std::string_view scheme_cli_name(core::SchemeKind kind) {
-  using core::SchemeKind;
-  switch (kind) {
-    case SchemeKind::kUncoded:
-      return "uncoded";
-    case SchemeKind::kBcc:
-      return "bcc";
-    case SchemeKind::kSimpleRandom:
-      return "simple_random";
-    case SchemeKind::kCyclicRepetition:
-      return "cr";
-    case SchemeKind::kFractionalRepetition:
-      return "fr";
-  }
-  return "unknown";
-}
-
 std::optional<Scenario> make_scenario(std::string_view name,
                                       std::size_t num_workers) {
-  Scenario s;
-  s.name = std::string(name);
-  s.cluster = simulate::ec2_cluster();
-  s.straggler = shifted_exp_straggler();
-
-  if (name == "shifted_exp") {
-    s.description =
-        "homogeneous shift-exponential compute (Eq. 15), EC2 calibration";
-    return s;
+  const auto& registry = ScenarioRegistry::instance();
+  if (registry.find(name) == nullptr) {
+    return std::nullopt;
   }
-  if (name == "hetero") {
-    s.description =
-        "5% fast workers (mu=20), 95% slow (mu=1), Fig. 5 shape (sim only)";
-    s.sim_only = true;
-    // At least one fast worker even for tiny clusters.
-    const std::size_t fast =
-        std::min(num_workers, std::max<std::size_t>(1, num_workers / 20));
-    s.cluster.worker_overrides.assign(
-        num_workers, simulate::WorkerLatency{s.cluster.compute_shift, 1.0});
-    for (std::size_t i = num_workers - fast; i < num_workers; ++i) {
-      s.cluster.worker_overrides[i].compute_straggle = 20.0;
-    }
-    return s;
-  }
-  if (name == "lossy") {
-    s.description = "shifted_exp plus 5% i.i.d. message loss (sim only)";
-    s.sim_only = true;
-    s.cluster.drop_probability = 0.05;
-    return s;
-  }
-  if (name == "fast_network") {
-    s.description =
-        "10x faster master ingress (compute-dominated regime; sim only)";
-    s.sim_only = true;
-    s.cluster.unit_transfer_seconds /= 10.0;
-    return s;
-  }
-  if (name == "no_stragglers") {
-    s.description = "near-deterministic compute, no loss (best case)";
-    s.cluster.compute_straggle = 1e6;  // exponential tail ~ 0
-    s.straggler.enabled = false;
-    return s;
-  }
-  return std::nullopt;
+  return registry.build(name, num_workers);
 }
 
-const std::vector<std::string>& scenario_names() {
-  static const std::vector<std::string> names = {
-      "shifted_exp", "hetero", "lossy", "fast_network", "no_stragglers"};
-  return names;
+std::vector<std::string> scenario_names() {
+  return ScenarioRegistry::instance().names();
 }
 
-std::string scheme_choices() { return "uncoded|fr|cr|bcc|simple_random"; }
+std::vector<std::string> scheme_names() {
+  return core::SchemeRegistry::instance().names();
+}
 
-std::string scenario_choices() { return join(scenario_names()); }
+std::string scheme_choices() {
+  return core::SchemeRegistry::instance().choices();
+}
 
-std::string runtime_choices() { return "sim|threaded"; }
+std::string scenario_choices() {
+  return ScenarioRegistry::instance().choices();
+}
+
+std::string runtime_choices() { return join_names(runtime_names()); }
 
 }  // namespace coupon::driver

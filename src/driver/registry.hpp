@@ -1,77 +1,36 @@
 #pragma once
 
 /// \file registry.hpp
-/// Name registries for the experiment driver: CLI spellings of the
-/// schemes, straggler scenarios, and runtimes that `coupon_run`, the
-/// benches, and the examples all select from.
-///
-/// A *scenario* bundles the two descriptions of the same straggler
-/// behaviour the codebase needs: the discrete-event simulator's
-/// `ClusterConfig` and the threaded runtime's `StragglerInjection`
-/// (injected sleeps standing in for t2.micro latency variance), so one
-/// `--scenario` flag drives either runtime.
+/// Convenience front-end over the open registries the driver selects
+/// from: `core::SchemeRegistry` (schemes, see core/scheme_registry.hpp),
+/// `driver::ScenarioRegistry` (straggler scenarios, see
+/// scenario_registry.hpp), and the runtime factory (runtime.hpp). The
+/// closed SchemeKind/RuntimeKind switches that used to live here are
+/// gone; these helpers only re-export name lists and lookups for CLI
+/// plumbing.
 
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "core/scheme.hpp"
-#include "runtime/thread_cluster.hpp"
-#include "simulate/cluster_sim.hpp"
+#include "driver/scenario_registry.hpp"
 
 namespace coupon::driver {
 
-/// Which execution substrate runs the experiment.
-enum class RuntimeKind {
-  kSimulated,  ///< discrete-event cluster model (no gradients computed)
-  kThreaded,   ///< real master/worker threads training a model
-};
-
-/// CLI spelling of a runtime ("sim" / "threaded").
-std::string_view runtime_name(RuntimeKind runtime);
-
-/// Parses "sim"/"simulated"/"threaded"/"thread"; nullopt on anything else.
-std::optional<RuntimeKind> parse_runtime(std::string_view name);
-
-/// Parses a scheme spelling ("uncoded", "fr", "cr", "bcc",
-/// "simple_random", plus long aliases); nullopt on anything else.
-std::optional<core::SchemeKind> parse_scheme(std::string_view name);
-
-/// Canonical CLI spelling of a scheme kind (inverse of `parse_scheme`).
-std::string_view scheme_cli_name(core::SchemeKind kind);
-
-/// A named straggler scenario, realized for a given cluster size.
-struct Scenario {
-  std::string name;
-  std::string description;
-  simulate::ClusterConfig cluster;         ///< simulated-runtime view
-  runtime::StragglerInjection straggler;   ///< threaded-runtime view
-  /// True when the scenario only varies simulator-side knobs (message
-  /// loss, ingress bandwidth, per-worker latency profiles) that the
-  /// threaded runtime cannot express yet; the driver rejects such
-  /// scenarios under --runtime threaded instead of silently running
-  /// shifted_exp behaviour under a different label.
-  bool sim_only = false;
-};
-
-/// Builds the named scenario for `num_workers` workers. Scenarios:
-///   shifted_exp   homogeneous shift-exponential compute (Eq. 15), the
-///                 paper's EC2 calibration — communication-dominated
-///   hetero        5% fast workers (mu = 20), 95% slow (mu = 1), the
-///                 Fig. 5 heterogeneous cluster shape (sim only)
-///   lossy         shifted_exp plus 5% i.i.d. message loss (sim only)
-///   fast_network  shifted_exp with a 10x faster master ingress link
-///                 (compute-dominated regime; sim only)
-///   no_stragglers near-deterministic compute, no loss — best case
-/// Returns nullopt for an unknown name.
+/// Builds the named scenario for `num_workers` workers; nullopt for an
+/// unknown name. (Thin wrapper over ScenarioRegistry::build for callers
+/// that prefer an optional to an exception.)
 std::optional<Scenario> make_scenario(std::string_view name,
                                       std::size_t num_workers);
 
-/// All registered scenario names, in presentation order.
-const std::vector<std::string>& scenario_names();
+/// All registered scenario names, in registration order.
+std::vector<std::string> scenario_names();
 
-/// Comma-joined spellings for --help strings.
+/// All registered scheme names, in registration order.
+std::vector<std::string> scheme_names();
+
+/// Pipe-joined spellings for --help strings.
 std::string scheme_choices();
 std::string scenario_choices();
 std::string runtime_choices();

@@ -1,0 +1,154 @@
+#include "driver/runtime.hpp"
+
+#include <stdexcept>
+
+#include "core/gradient_source.hpp"
+#include "core/scheme_registry.hpp"
+#include "data/batching.hpp"
+#include "data/synthetic.hpp"
+#include "driver/scenario_registry.hpp"
+#include "opt/logistic.hpp"
+#include "opt/optimizer.hpp"
+#include "runtime/thread_cluster.hpp"
+#include "simulate/cluster_sim.hpp"
+#include "stats/rng.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::driver {
+
+namespace {
+
+/// Resolves names to canonical spellings and stamps the run identity.
+RunRecord identity_record(const ExperimentConfig& config,
+                          std::string_view runtime_name) {
+  const core::SchemeEntry* scheme =
+      core::SchemeRegistry::instance().find(config.scheme);
+  if (scheme == nullptr) {
+    throw std::invalid_argument(
+        core::SchemeRegistry::instance().unknown_message(config.scheme));
+  }
+  RunRecord record;
+  record.scheme = scheme->name;  // canonical even when selected by alias
+  record.scenario = config.scenario;
+  record.runtime = std::string(runtime_name);
+  record.num_workers = config.num_workers;
+  record.num_units = config.num_units;
+  record.load = config.load;
+  record.iterations = config.iterations;
+  record.seed = config.seed;
+  return record;
+}
+
+core::SchemeConfig scheme_config(const ExperimentConfig& config,
+                                 bool default_seed_first_batches) {
+  core::SchemeConfig sconf;
+  sconf.num_workers = config.num_workers;
+  sconf.num_units = config.num_units;
+  sconf.load = config.load;
+  sconf.bcc_seed_first_batches =
+      config.bcc_seed_first_batches.value_or(default_seed_first_batches);
+  return sconf;
+}
+
+}  // namespace
+
+RunRecord SimulatedRuntime::run(const ExperimentConfig& config) const {
+  const Scenario scenario = ScenarioRegistry::instance().build(
+      config.scenario, config.num_workers);
+  RunRecord record = identity_record(config, name());
+
+  stats::Rng rng(config.seed);
+  auto scheme = core::SchemeRegistry::instance().create(
+      config.scheme, scheme_config(config, /*default_seed_first_batches=*/false),
+      rng);
+  record.scheme_display = std::string(scheme->name());
+
+  // The footgun fix: a caller-supplied cluster model (e.g. from
+  // config_from_sim_scenario) wins over the named scenario's.
+  const simulate::ClusterConfig& cluster =
+      config.cluster_override ? *config.cluster_override : scenario.cluster;
+  const simulate::RunReport run =
+      simulate_run(*scheme, cluster, config.iterations, rng);
+
+  record.trace = run.iterations;
+  record.recovery_threshold = run.workers_heard.mean();
+  record.comm_time = run.total_comm_time;
+  record.compute_time = run.total_compute_time;
+  record.total_time = run.total_time;
+  record.mean_units = run.units_received.mean();
+  record.failures = run.failures;
+  return record;
+}
+
+RunRecord ThreadedRuntime::run(const ExperimentConfig& config) const {
+  const Scenario scenario = ScenarioRegistry::instance().build(
+      config.scenario, config.num_workers);
+  if (scenario.sim_only) {
+    throw std::invalid_argument(
+        "scenario '" + scenario.name +
+        "' only varies simulator-side knobs; use --runtime sim");
+  }
+  if (config.cluster_override) {
+    throw std::invalid_argument(
+        "cluster_override describes the simulated cluster; the threaded "
+        "runtime cannot honour it — use the sim runtime");
+  }
+  RunRecord record = identity_record(config, name());
+
+  stats::Rng rng(config.seed);
+
+  // Synthetic logistic-regression workload: m units of `examples_per_unit`
+  // points each ("super examples", footnote 1 of the paper).
+  const std::size_t num_examples = config.num_units * config.examples_per_unit;
+  data::SyntheticConfig dconf;
+  dconf.num_features = config.features;
+  const auto problem = data::generate_logreg(num_examples, dconf, rng);
+  data::BatchPartition partition(num_examples, config.examples_per_unit);
+  COUPON_ASSERT(partition.num_batches() == config.num_units);
+  core::GroupedBatchSource source(problem.dataset, partition);
+
+  // Seeded first batches (by default) guarantee per-iteration BCC
+  // coverage, matching the quickstart's real-training setup.
+  auto scheme = core::SchemeRegistry::instance().create(
+      config.scheme, scheme_config(config, /*default_seed_first_batches=*/true),
+      rng);
+  record.scheme_display = std::string(scheme->name());
+
+  runtime::ThreadCluster cluster(*scheme, source, config.seed + 42);
+  opt::NesterovGradient optimizer(
+      config.features,
+      opt::LearningRateSchedule::constant(config.learning_rate));
+
+  runtime::TrainOptions options;
+  options.iterations = config.iterations;
+  options.straggler = scenario.straggler;
+  options.on_failure = config.on_failure;
+
+  const auto run = cluster.train(optimizer, options);
+
+  record.recovery_threshold = run.workers_heard.mean();
+  record.total_time = run.wall_seconds;
+  record.mean_units = run.units_received.mean();
+  record.failures = run.failed_iterations;
+  record.partial_iterations = run.partial_iterations;
+  record.final_loss = opt::logistic_loss(problem.dataset, run.weights);
+  record.train_accuracy = opt::accuracy(problem.dataset, run.weights);
+  return record;
+}
+
+std::unique_ptr<Runtime> make_runtime(std::string_view name) {
+  if (name == "sim" || name == "simulated" || name == "simulate") {
+    return std::make_unique<SimulatedRuntime>();
+  }
+  if (name == "threaded" || name == "thread" || name == "threads") {
+    return std::make_unique<ThreadedRuntime>();
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& runtime_names() {
+  static const std::vector<std::string> names = {"sim", "threaded"};
+  return names;
+}
+
+}  // namespace coupon::driver

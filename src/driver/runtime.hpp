@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file runtime.hpp
+/// The unified execution-substrate interface (DESIGN.md §2, §4).
+///
+/// A `Runtime` turns one fully-resolved `ExperimentConfig` into one typed
+/// `RunRecord`. The two implementations are the discrete-event simulator
+/// (`SimulatedRuntime`, no gradients computed) and the real-thread
+/// training cluster (`ThreadedRuntime`); a future MPI/distributed backend
+/// is one more subclass plus a `make_runtime` entry — callers never
+/// branch on a runtime enum.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/experiment_config.hpp"
+#include "driver/record.hpp"
+
+namespace coupon::driver {
+
+/// Polymorphic execution substrate.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Canonical runtime name stamped into records ("sim", "threaded").
+  virtual std::string_view name() const = 0;
+
+  /// Runs one (scheme, scenario) cell. Throws std::invalid_argument on an
+  /// unknown scheme/scenario name or a scenario/config this runtime
+  /// cannot express (sim-only scenario or cluster_override under the
+  /// threaded runtime).
+  virtual RunRecord run(const ExperimentConfig& config) const = 0;
+};
+
+/// Discrete-event cluster model (simulate/cluster_sim.hpp): per-iteration
+/// latency traces, no gradients computed.
+class SimulatedRuntime final : public Runtime {
+ public:
+  std::string_view name() const override { return "sim"; }
+  RunRecord run(const ExperimentConfig& config) const override;
+};
+
+/// Real master/worker threads training synthetic logistic regression
+/// (runtime/thread_cluster.hpp): wall-clock summary plus final loss and
+/// train accuracy.
+class ThreadedRuntime final : public Runtime {
+ public:
+  std::string_view name() const override { return "threaded"; }
+  RunRecord run(const ExperimentConfig& config) const override;
+};
+
+/// Builds the named runtime ("sim"/"simulated"/"simulate",
+/// "threaded"/"thread"/"threads"); nullptr for an unknown name.
+std::unique_ptr<Runtime> make_runtime(std::string_view name);
+
+/// Canonical runtime names, in presentation order.
+const std::vector<std::string>& runtime_names();
+
+}  // namespace coupon::driver

@@ -1,0 +1,142 @@
+#include "driver/scenario_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "simulate/experiment.hpp"
+#include "util/names.hpp"
+
+namespace coupon::driver {
+
+namespace {
+
+/// Threaded-runtime counterpart of the EC2 calibration: injected
+/// shift-exponential sleeps.
+runtime::StragglerInjection shifted_exp_straggler() {
+  runtime::StragglerInjection s;
+  s.enabled = true;
+  s.shift_ms_per_unit = 0.05;
+  s.straggle = 1.0;
+  return s;
+}
+
+/// The baseline dual view every built-in scenario starts from.
+Scenario ec2_baseline() {
+  Scenario s;
+  s.cluster = simulate::ec2_cluster();
+  s.straggler = shifted_exp_straggler();
+  return s;
+}
+
+}  // namespace
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+ScenarioRegistry::ScenarioRegistry() {
+  add({.name = "shifted_exp",
+       .description =
+           "homogeneous shift-exponential compute (Eq. 15), EC2 calibration",
+       .sim_only = false,
+       .builder = [](std::size_t) { return ec2_baseline(); }});
+  add({.name = "hetero",
+       .description =
+           "5% fast workers (mu=20), 95% slow (mu=1), Fig. 5 shape (sim only)",
+       .sim_only = true,
+       .builder = [](std::size_t num_workers) {
+         Scenario s = ec2_baseline();
+         // At least one fast worker even for tiny clusters.
+         const std::size_t fast = std::min(
+             num_workers, std::max<std::size_t>(1, num_workers / 20));
+         s.cluster.worker_overrides.assign(
+             num_workers,
+             simulate::WorkerLatency{s.cluster.compute_shift, 1.0});
+         for (std::size_t i = num_workers - fast; i < num_workers; ++i) {
+           s.cluster.worker_overrides[i].compute_straggle = 20.0;
+         }
+         return s;
+       }});
+  add({.name = "lossy",
+       .description = "shifted_exp plus 5% i.i.d. message loss (sim only)",
+       .sim_only = true,
+       .builder = [](std::size_t) {
+         Scenario s = ec2_baseline();
+         s.cluster.drop_probability = 0.05;
+         return s;
+       }});
+  add({.name = "fast_network",
+       .description =
+           "10x faster master ingress (compute-dominated regime; sim only)",
+       .sim_only = true,
+       .builder = [](std::size_t) {
+         Scenario s = ec2_baseline();
+         s.cluster.unit_transfer_seconds /= 10.0;
+         return s;
+       }});
+  add({.name = "no_stragglers",
+       .description = "near-deterministic compute, no loss (best case)",
+       .sim_only = false,
+       .builder = [](std::size_t) {
+         Scenario s = ec2_baseline();
+         s.cluster.compute_straggle = 1e6;  // exponential tail ~ 0
+         s.straggler.enabled = false;
+         return s;
+       }});
+}
+
+void ScenarioRegistry::add(ScenarioEntry entry) {
+  if (entry.name.empty()) {
+    throw std::invalid_argument("scenario registration requires a name");
+  }
+  if (!entry.builder) {
+    throw std::invalid_argument("scenario '" + entry.name +
+                                "' registered without a builder");
+  }
+  if (find(entry.name) != nullptr) {
+    throw std::invalid_argument("scenario name '" + entry.name +
+                                "' is already registered");
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const ScenarioEntry* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+Scenario ScenarioRegistry::build(std::string_view name,
+                                 std::size_t num_workers) const {
+  const ScenarioEntry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument(unknown_message(name));
+  }
+  Scenario scenario = entry->builder(num_workers);
+  scenario.name = entry->name;
+  scenario.description = entry->description;
+  scenario.sim_only = entry->sim_only;
+  return scenario;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    out.push_back(entry.name);
+  }
+  return out;
+}
+
+std::string ScenarioRegistry::choices() const { return join_names(names()); }
+
+std::string ScenarioRegistry::unknown_message(std::string_view name) const {
+  return unknown_name_message("scenario", name, names());
+}
+
+}  // namespace coupon::driver

@@ -1,0 +1,200 @@
+#include "driver/sweep.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "core/scheme_registry.hpp"
+#include "driver/driver.hpp"
+#include "driver/runtime.hpp"
+#include "driver/scenario_registry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace coupon::driver {
+
+namespace {
+
+template <typename T>
+std::vector<T> axis_or(const std::vector<T>& axis, T base_value) {
+  return axis.empty() ? std::vector<T>{base_value} : axis;
+}
+
+}  // namespace
+
+std::vector<SweepCell> expand_plan(const SweepPlan& plan) {
+  const auto schemes = axis_or(plan.schemes, plan.base.scheme);
+  const auto scenarios = axis_or(plan.scenarios, plan.base.scenario);
+  const auto workers = axis_or(plan.workers, plan.base.num_workers);
+  const auto loads = axis_or(plan.loads, plan.base.load);
+  const auto iterations = axis_or(plan.iterations, plan.base.iterations);
+  const auto seeds = axis_or(plan.seeds, plan.base.seed);
+
+  // Fail on any bad name before running a single cell.
+  const auto& scheme_registry = core::SchemeRegistry::instance();
+  for (const auto& scheme : schemes) {
+    if (scheme_registry.find(scheme) == nullptr) {
+      throw std::invalid_argument(scheme_registry.unknown_message(scheme));
+    }
+  }
+  const auto& scenario_registry = ScenarioRegistry::instance();
+  for (const auto& scenario : scenarios) {
+    if (scenario_registry.find(scenario) == nullptr) {
+      throw std::invalid_argument(
+          scenario_registry.unknown_message(scenario));
+    }
+  }
+  const auto runtime = make_runtime(plan.base.runtime);
+  if (runtime == nullptr) {
+    throw std::invalid_argument("unknown runtime '" + plan.base.runtime +
+                                "' (choices: " + runtime_choices() + ")");
+  }
+
+  // ... and on any cell the selected runtime or a scheme's structural
+  // requirements would reject at run time, so a sweep cannot burn half
+  // its cells before discovering a bad combination.
+  const bool threaded = runtime->name() == "threaded";
+  if (threaded) {
+    for (const auto& scenario : scenarios) {
+      if (scenario_registry.find(scenario)->sim_only) {
+        throw std::invalid_argument(
+            "scenario '" + scenario +
+            "' only varies simulator-side knobs; use the sim runtime");
+      }
+    }
+    if (plan.base.cluster_override) {
+      throw std::invalid_argument(
+          "cluster_override describes the simulated cluster; the threaded "
+          "runtime cannot honour it — use the sim runtime");
+    }
+  }
+  auto check_caps = [&](const std::string& scheme, std::size_t n,
+                        std::size_t m, std::size_t r) {
+    const auto& caps = scheme_registry.find(scheme)->caps;
+    if (caps.requires_units_equal_workers && m != n) {
+      throw std::invalid_argument("scheme '" + scheme +
+                                  "' requires m == n, but a sweep cell has "
+                                  "n=" + std::to_string(n) +
+                                  " m=" + std::to_string(m));
+    }
+    if (caps.requires_load_divides_workers && (r == 0 || n % r != 0)) {
+      throw std::invalid_argument("scheme '" + scheme +
+                                  "' requires r | n, but a sweep cell has "
+                                  "n=" + std::to_string(n) +
+                                  " r=" + std::to_string(r));
+    }
+  };
+
+  std::vector<SweepCell> cells;
+  for (const auto& scheme : schemes) {
+    for (const auto& scenario : scenarios) {
+      for (std::size_t n : workers) {
+        // Empty units axis: m tracks n (the m == n shape every paper
+        // scenario and the CR/FR placement constraint use).
+        const auto units = axis_or(plan.units, n);
+        for (std::size_t m : units) {
+          for (std::size_t r : loads) {
+            check_caps(scheme, n, m, r);
+            for (std::size_t iters : iterations) {
+              for (std::uint64_t seed : seeds) {
+                SweepCell cell;
+                cell.index = cells.size();
+                cell.config = plan.base;
+                cell.config.scheme = scheme;
+                cell.config.scenario = scenario;
+                cell.config.num_workers = n;
+                cell.config.num_units = m;
+                cell.config.load = r;
+                cell.config.iterations = iters;
+                cell.config.seed = seed;
+                cells.push_back(std::move(cell));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<RunRecord> run_sweep(const SweepPlan& plan,
+                                 const SweepOptions& options) {
+  const std::vector<SweepCell> cells = expand_plan(plan);
+
+  std::vector<std::optional<RunRecord>> slots(cells.size());
+  std::vector<std::exception_ptr> errors(cells.size());
+
+  // Serial path: run in cell order, stream as we go. This is also the
+  // reference the parallel path's output must be bit-identical to.
+  if (options.threads == 1) {
+    for (const auto& cell : cells) {
+      try {
+        slots[cell.index] = run_experiment(cell.config);
+        if (options.sink != nullptr) {
+          options.sink->write(*slots[cell.index]);
+        }
+      } catch (...) {
+        errors[cell.index] = std::current_exception();
+      }
+    }
+  } else {
+    std::size_t threads = options.threads != 0
+                              ? options.threads
+                              : std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(threads, std::max<std::size_t>(1, cells.size()));
+    ThreadPool pool(threads);
+
+    // Finished records are published under the mutex; the emission cursor
+    // advances through the slots in cell order, so the sink sees exactly
+    // the serial order no matter which worker finishes first.
+    std::mutex mutex;
+    std::size_t cursor = 0;
+    std::vector<std::future<void>> futures;
+    futures.reserve(cells.size());
+    for (const auto& cell : cells) {
+      futures.push_back(pool.submit([&, &cell = cell] {
+        std::optional<RunRecord> record;
+        std::exception_ptr error;
+        try {
+          record = run_experiment(cell.config);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        slots[cell.index] = std::move(record);
+        errors[cell.index] = error;
+        while (cursor < slots.size() &&
+               (slots[cursor].has_value() || errors[cursor] != nullptr)) {
+          if (options.sink != nullptr && slots[cursor].has_value()) {
+            options.sink->write(*slots[cursor]);
+          }
+          ++cursor;
+        }
+      }));
+    }
+    for (auto& future : futures) {
+      future.get();
+    }
+  }
+
+  // Rethrow the first failure by cell order (after every cell finished,
+  // so a long sweep is never half-torn-down under the caller).
+  for (const auto& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+
+  std::vector<RunRecord> records;
+  records.reserve(cells.size());
+  for (auto& slot : slots) {
+    records.push_back(std::move(*slot));
+  }
+  return records;
+}
+
+}  // namespace coupon::driver

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file names.hpp
+/// Shared helpers for name registries: choice-list joining and the
+/// common "unknown X 'y' (choices: ...)" diagnostic, so every registry
+/// (schemes, scenarios, runtimes) speaks the same CLI language.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coupon {
+
+/// "a|b|c" — the --help choices spelling.
+inline std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) {
+      out += "|";
+    }
+    out += name;
+  }
+  return out;
+}
+
+/// "unknown scheme 'x' (choices: a|b|c)".
+inline std::string unknown_name_message(
+    std::string_view kind, std::string_view name,
+    const std::vector<std::string>& choices) {
+  return "unknown " + std::string(kind) + " '" + std::string(name) +
+         "' (choices: " + join_names(choices) + ")";
+}
+
+}  // namespace coupon

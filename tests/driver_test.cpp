@@ -1,5 +1,6 @@
-// Tests for the experiment-driver layer: name registries, scenario
-// construction, config plumbing, and the CSV-producing entry points.
+// Tests for the experiment-driver layer: the scenario registry, runtime
+// factory, config plumbing (including the cluster carry-through fix),
+// and the RunRecord-producing entry points with their CSV/JSONL sinks.
 
 #include <gtest/gtest.h>
 
@@ -10,40 +11,8 @@
 #include "simulate/experiment.hpp"
 
 namespace driver = coupon::driver;
-using coupon::core::SchemeKind;
 
-TEST(Registry, SchemeNamesRoundTrip) {
-  for (SchemeKind kind :
-       {SchemeKind::kUncoded, SchemeKind::kBcc, SchemeKind::kSimpleRandom,
-        SchemeKind::kCyclicRepetition, SchemeKind::kFractionalRepetition}) {
-    const auto parsed = driver::parse_scheme(driver::scheme_cli_name(kind));
-    ASSERT_TRUE(parsed.has_value());
-    EXPECT_EQ(*parsed, kind);
-  }
-}
-
-TEST(Registry, SchemeAliasesAndUnknowns) {
-  EXPECT_EQ(driver::parse_scheme("cyclic_repetition"),
-            SchemeKind::kCyclicRepetition);
-  EXPECT_EQ(driver::parse_scheme("srs"), SchemeKind::kSimpleRandom);
-  EXPECT_FALSE(driver::parse_scheme("").has_value());
-  EXPECT_FALSE(driver::parse_scheme("BCC").has_value());  // case-sensitive
-  EXPECT_FALSE(driver::parse_scheme("bogus").has_value());
-}
-
-TEST(Registry, RuntimeSpellings) {
-  EXPECT_EQ(driver::parse_runtime("sim"), driver::RuntimeKind::kSimulated);
-  EXPECT_EQ(driver::parse_runtime("simulated"),
-            driver::RuntimeKind::kSimulated);
-  EXPECT_EQ(driver::parse_runtime("threaded"),
-            driver::RuntimeKind::kThreaded);
-  EXPECT_EQ(driver::parse_runtime("threads"), driver::RuntimeKind::kThreaded);
-  EXPECT_FALSE(driver::parse_runtime("mpi").has_value());
-  EXPECT_EQ(driver::runtime_name(driver::RuntimeKind::kSimulated), "sim");
-  EXPECT_EQ(driver::runtime_name(driver::RuntimeKind::kThreaded), "threaded");
-}
-
-TEST(Registry, EveryListedScenarioIsConstructible) {
+TEST(ScenarioRegistry, EveryListedScenarioIsConstructible) {
   for (const auto& name : driver::scenario_names()) {
     const auto scenario = driver::make_scenario(name, 40);
     ASSERT_TRUE(scenario.has_value()) << name;
@@ -53,7 +22,62 @@ TEST(Registry, EveryListedScenarioIsConstructible) {
   EXPECT_FALSE(driver::make_scenario("bogus", 40).has_value());
 }
 
-TEST(Registry, ShiftedExpMatchesEc2Calibration) {
+TEST(ScenarioRegistry, BuildThrowsOnUnknownNameListingChoices) {
+  try {
+    driver::ScenarioRegistry::instance().build("bogus", 10);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("bogus"), std::string::npos);
+    EXPECT_NE(message.find("shifted_exp"), std::string::npos);
+    EXPECT_NE(message.find("no_stragglers"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, DuplicateAndMalformedRegistrationsRejected) {
+  auto& registry = driver::ScenarioRegistry::instance();
+  driver::ScenarioEntry dup;
+  dup.name = "shifted_exp";
+  dup.builder = [](std::size_t) { return driver::Scenario{}; };
+  EXPECT_THROW(registry.add(dup), std::invalid_argument);
+
+  driver::ScenarioEntry unnamed;
+  unnamed.builder = [](std::size_t) { return driver::Scenario{}; };
+  EXPECT_THROW(registry.add(unnamed), std::invalid_argument);
+
+  driver::ScenarioEntry no_builder;
+  no_builder.name = "no_builder_scenario";
+  EXPECT_THROW(registry.add(no_builder), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, RegisteredScenarioIsRunnable) {
+  // The open-registry contract: one add() call, no switch edits, and the
+  // scenario is selectable by every driver entry point.
+  auto& registry = driver::ScenarioRegistry::instance();
+  if (registry.find("test_instant_network") == nullptr) {
+    registry.add({.name = "test_instant_network",
+                  .description = "shifted_exp with a free master link",
+                  .sim_only = true,
+                  .builder = [](std::size_t) {
+                    auto s = driver::ScenarioRegistry::instance().build(
+                        "shifted_exp", 0);
+                    s.cluster.unit_transfer_seconds = 0.0;
+                    return s;
+                  }});
+  }
+  driver::ExperimentConfig config;
+  config.scenario = "test_instant_network";
+  config.num_workers = 10;
+  config.num_units = 10;
+  config.load = 2;
+  config.iterations = 4;
+  const auto record = driver::run_experiment(config);
+  EXPECT_EQ(record.scenario, "test_instant_network");
+  EXPECT_EQ(record.trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(record.comm_time, 0.0);  // the free link, observably
+}
+
+TEST(ScenarioRegistry, ShiftedExpMatchesEc2Calibration) {
   const auto scenario = driver::make_scenario("shifted_exp", 50);
   ASSERT_TRUE(scenario.has_value());
   const auto ec2 = coupon::simulate::ec2_cluster();
@@ -63,7 +87,7 @@ TEST(Registry, ShiftedExpMatchesEc2Calibration) {
                    ec2.unit_transfer_seconds);
 }
 
-TEST(Registry, HeteroScenarioBuildsPerWorkerOverrides) {
+TEST(ScenarioRegistry, HeteroScenarioBuildsPerWorkerOverrides) {
   const std::size_t n = 40;
   const auto scenario = driver::make_scenario("hetero", n);
   ASSERT_TRUE(scenario.has_value());
@@ -82,7 +106,7 @@ TEST(Registry, HeteroScenarioBuildsPerWorkerOverrides) {
   EXPECT_GT(tiny->cluster.worker_overrides.back().compute_straggle, 1.0);
 }
 
-TEST(Registry, ScenarioKnobsDifferFromBaseline) {
+TEST(ScenarioRegistry, ScenarioKnobsDifferFromBaseline) {
   const auto base = driver::make_scenario("shifted_exp", 20);
   const auto lossy = driver::make_scenario("lossy", 20);
   const auto fast = driver::make_scenario("fast_network", 20);
@@ -95,23 +119,59 @@ TEST(Registry, ScenarioKnobsDifferFromBaseline) {
   EXPECT_TRUE(base->straggler.enabled);
 }
 
-TEST(Driver, ConfigFromSimScenarioCopiesParameters) {
-  const auto scenario = coupon::simulate::ec2_scenario_two();
+TEST(RuntimeFactory, SpellingsAndNames) {
+  ASSERT_NE(driver::make_runtime("sim"), nullptr);
+  EXPECT_EQ(driver::make_runtime("simulated")->name(), "sim");
+  EXPECT_EQ(driver::make_runtime("threaded")->name(), "threaded");
+  EXPECT_EQ(driver::make_runtime("threads")->name(), "threaded");
+  EXPECT_EQ(driver::make_runtime("mpi"), nullptr);
+  EXPECT_EQ(driver::runtime_names().size(), 2u);
+  EXPECT_NE(driver::runtime_choices().find("sim"), std::string::npos);
+}
+
+TEST(Driver, ConfigFromSimScenarioCopiesParametersAndCluster) {
+  auto scenario = coupon::simulate::ec2_scenario_two();
+  scenario.cluster.drop_probability = 0.25;  // a caller customization
   const auto config = driver::config_from_sim_scenario(scenario);
   EXPECT_EQ(config.num_workers, scenario.num_workers);
   EXPECT_EQ(config.num_units, scenario.num_units);
   EXPECT_EQ(config.load, scenario.load);
   EXPECT_EQ(config.iterations, scenario.iterations);
   EXPECT_EQ(config.seed, scenario.seed);
+  // The footgun fix: the customized cluster is carried, not discarded.
+  ASSERT_TRUE(config.cluster_override.has_value());
+  EXPECT_DOUBLE_EQ(config.cluster_override->drop_probability, 0.25);
+}
+
+TEST(Driver, ClusterOverrideReachesTheSimulator) {
+  // drop_probability = 1 loses every message: with the override honoured,
+  // every iteration fails; if it were silently discarded, none would.
+  auto scenario = coupon::simulate::ec2_scenario_one();
+  scenario.num_workers = 10;
+  scenario.num_units = 10;
+  scenario.load = 2;
+  scenario.iterations = 6;
+  scenario.cluster.drop_probability = 1.0;
+  auto config = driver::config_from_sim_scenario(scenario);
+  config.scheme = "uncoded";
+  const auto record = driver::run_experiment(config);
+  EXPECT_EQ(record.failures, config.iterations);
+}
+
+TEST(Driver, ClusterOverrideRejectedByThreadedRuntime) {
+  auto config = driver::config_from_sim_scenario(
+      coupon::simulate::ec2_scenario_one());
+  config.runtime = "threaded";
+  EXPECT_THROW(driver::run_experiment(config), std::invalid_argument);
 }
 
 namespace {
 
 driver::ExperimentConfig small_sim_config() {
   driver::ExperimentConfig config;
-  config.scheme = SchemeKind::kBcc;
+  config.scheme = "bcc";
   config.scenario = "shifted_exp";
-  config.runtime = driver::RuntimeKind::kSimulated;
+  config.runtime = "sim";
   config.num_workers = 10;
   config.num_units = 10;
   config.load = 2;
@@ -122,48 +182,79 @@ driver::ExperimentConfig small_sim_config() {
 
 }  // namespace
 
-TEST(Driver, SimulatedRunEmitsOneRowPerIteration) {
+TEST(Driver, SimulatedRunEmitsOneTraceEntryPerIteration) {
   const auto config = small_sim_config();
-  const auto result = driver::run_experiment(config);
-  EXPECT_EQ(result.rows.size(), config.iterations);
-  for (const auto& row : result.rows) {
-    EXPECT_EQ(row.size(), result.header.size());
-  }
-  EXPECT_GT(result.summary.total_time, 0.0);
-  EXPECT_GT(result.summary.recovery_threshold, 0.0);
-  EXPECT_EQ(result.summary.kind, SchemeKind::kBcc);
+  const auto record = driver::run_experiment(config);
+  EXPECT_EQ(record.trace.size(), config.iterations);
+  EXPECT_EQ(record.scheme, "bcc");
+  EXPECT_EQ(record.scheme_display, "BCC");
+  EXPECT_EQ(record.runtime, "sim");
+  EXPECT_EQ(record.seed, config.seed);
+  EXPECT_GT(record.total_time, 0.0);
+  EXPECT_GT(record.recovery_threshold, 0.0);
+  EXPECT_FALSE(record.final_loss.has_value());  // no model on the simulator
+}
+
+TEST(Driver, AliasSelectionCanonicalizesTheRecord) {
+  auto config = small_sim_config();
+  config.scheme = "batched_coupon_collection";
+  const auto record = driver::run_experiment(config);
+  EXPECT_EQ(record.scheme, "bcc");
 }
 
 TEST(Driver, SimulatedRunIsDeterministicInSeed) {
   const auto config = small_sim_config();
   const auto a = driver::run_experiment(config);
   const auto b = driver::run_experiment(config);
-  EXPECT_EQ(a.rows, b.rows);
+  std::ostringstream csv_a, csv_b;
+  driver::CsvTraceSink(csv_a).write(a);
+  driver::CsvTraceSink(csv_b).write(b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+
   auto other = config;
   other.seed = 321;
   const auto c = driver::run_experiment(other);
-  EXPECT_NE(a.rows, c.rows);
+  std::ostringstream csv_c;
+  driver::CsvTraceSink(csv_c).write(c);
+  EXPECT_NE(csv_a.str(), csv_c.str());
 }
 
-TEST(Driver, ThreadedRunEmitsSummaryRow) {
+TEST(Driver, ThreadedRunReportsModelQuality) {
   driver::ExperimentConfig config;
-  config.scheme = SchemeKind::kBcc;
-  config.runtime = driver::RuntimeKind::kThreaded;
+  config.scheme = "bcc";
+  config.runtime = "threaded";
   config.num_workers = 4;
   config.num_units = 4;
   config.load = 2;
   config.iterations = 3;
   config.features = 6;
   config.examples_per_unit = 5;
-  const auto result = driver::run_experiment(config);
-  ASSERT_EQ(result.rows.size(), 1u);
-  EXPECT_EQ(result.rows[0].size(), result.header.size());
-  EXPECT_GT(result.summary.total_time, 0.0);
+  const auto record = driver::run_experiment(config);
+  EXPECT_EQ(record.runtime, "threaded");
+  EXPECT_TRUE(record.trace.empty());  // wall-clock phases not separable
+  EXPECT_GT(record.total_time, 0.0);
+  ASSERT_TRUE(record.final_loss.has_value());
+  ASSERT_TRUE(record.train_accuracy.has_value());
+  EXPECT_GE(*record.train_accuracy, 0.0);
+  EXPECT_LE(*record.train_accuracy, 1.0);
 }
 
-TEST(Driver, UnknownScenarioThrows) {
+TEST(Driver, UnknownNamesThrowListingChoices) {
   auto config = small_sim_config();
   config.scenario = "bogus";
+  EXPECT_THROW(driver::run_experiment(config), std::invalid_argument);
+
+  config = small_sim_config();
+  config.scheme = "bogus";
+  try {
+    driver::run_experiment(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("uncoded"), std::string::npos);
+  }
+
+  config = small_sim_config();
+  config.runtime = "mpi";
   EXPECT_THROW(driver::run_experiment(config), std::invalid_argument);
 }
 
@@ -171,60 +262,80 @@ TEST(Driver, SimOnlyScenarioRejectedUnderThreadedRuntime) {
   for (const std::string name : {"hetero", "lossy", "fast_network"}) {
     auto config = small_sim_config();
     config.scenario = name;
-    config.runtime = driver::RuntimeKind::kThreaded;
+    config.runtime = "threaded";
     EXPECT_THROW(driver::run_experiment(config), std::invalid_argument)
         << name;
   }
   // The same scenarios remain runnable on the simulator.
   auto config = small_sim_config();
   config.scenario = "lossy";
-  EXPECT_EQ(driver::run_experiment(config).rows.size(), config.iterations);
+  EXPECT_EQ(driver::run_experiment(config).trace.size(), config.iterations);
 }
 
-TEST(Driver, SimTraceHeaderExtendsIterationCsvHeader) {
-  const auto result = driver::run_experiment(small_sim_config());
+TEST(Sinks, TraceHeaderExtendsIterationCsvHeader) {
+  const auto& header = driver::trace_csv_header();
   const auto& trace = coupon::simulate::iteration_csv_header();
-  ASSERT_EQ(result.header.size(), trace.size() + 3);
+  ASSERT_EQ(header.size(), trace.size() + 3);
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    EXPECT_EQ(result.header[i + 3], trace[i]);
+    EXPECT_EQ(header[i + 3], trace[i]);
   }
 }
 
-TEST(Driver, WriteCsvEmitsHeaderPlusRows) {
-  const auto result = driver::run_experiment(small_sim_config());
+TEST(Sinks, TraceCsvEmitsHeaderPlusOneRowPerIteration) {
+  const auto record = driver::run_experiment(small_sim_config());
   std::ostringstream os;
-  driver::write_csv(os, result);
+  driver::CsvTraceSink sink(os);
+  sink.write(record);
   std::size_t lines = 0;
   for (char c : os.str()) {
     lines += c == '\n';
   }
-  EXPECT_EQ(lines, result.rows.size() + 1);
+  EXPECT_EQ(lines, record.trace.size() + 1);
   EXPECT_EQ(os.str().substr(0, 6), "scheme");
 }
 
-TEST(Driver, SchemeComparisonMatchesRunScenario) {
-  // The driver's comparison path must reproduce simulate::run_scenario
-  // exactly for the same parameters (same RNG-split discipline).
-  auto scenario = coupon::simulate::ec2_scenario_one();
-  scenario.iterations = 5;
-  const std::vector<SchemeKind> kinds = {SchemeKind::kUncoded,
-                                         SchemeKind::kBcc};
-  const auto direct = coupon::simulate::run_scenario(scenario, kinds);
-
-  auto config = driver::config_from_sim_scenario(scenario);
-  config.scenario = "shifted_exp";
-  const auto via_driver = driver::run_scheme_comparison(config, kinds);
-
-  ASSERT_EQ(direct.size(), via_driver.size());
-  for (std::size_t i = 0; i < direct.size(); ++i) {
-    EXPECT_EQ(direct[i].scheme, via_driver[i].scheme);
-    EXPECT_DOUBLE_EQ(direct[i].total_time, via_driver[i].total_time);
-    EXPECT_DOUBLE_EQ(direct[i].recovery_threshold,
-                     via_driver[i].recovery_threshold);
+TEST(Sinks, SummaryCsvEmitsOneRowPerRecord) {
+  const auto record = driver::run_experiment(small_sim_config());
+  std::ostringstream os;
+  driver::CsvSummarySink sink(os);
+  sink.write(record);
+  sink.write(record);
+  std::size_t lines = 0;
+  for (char c : os.str()) {
+    lines += c == '\n';
   }
+  EXPECT_EQ(lines, 3u);  // header + 2 records
 }
 
-TEST(Driver, ComparisonCsvPathRejectsUnwritableFile) {
-  EXPECT_FALSE(
-      driver::write_comparison_csv_to_path("/nonexistent-dir/x.csv", {}));
+TEST(Sinks, JsonlEmitsOneObjectPerRecordWithNullModelFields) {
+  const auto record = driver::run_experiment(small_sim_config());
+  std::ostringstream os;
+  driver::JsonlSink sink(os);
+  sink.write(record);
+  const std::string line = os.str();
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\"scheme\":\"bcc\""), std::string::npos);
+  EXPECT_NE(line.find("\"final_loss\":null"), std::string::npos);
+  EXPECT_EQ(line.find("\"trace\""), std::string::npos);
+
+  std::ostringstream with_trace;
+  driver::JsonlSink(with_trace, /*include_trace=*/true).write(record);
+  EXPECT_NE(with_trace.str().find("\"trace\":[{"), std::string::npos);
+}
+
+TEST(Sinks, TeeFansOutToAllSinks) {
+  const auto record = driver::run_experiment(small_sim_config());
+  std::ostringstream a, b;
+  driver::CsvSummarySink sink_a(a);
+  driver::JsonlSink sink_b(b);
+  driver::TeeSink tee({&sink_a, &sink_b});
+  tee.write(record);
+  EXPECT_FALSE(a.str().empty());
+  EXPECT_FALSE(b.str().empty());
+}
+
+TEST(Sinks, WriteRecordsToPathRejectsUnwritableFile) {
+  EXPECT_FALSE(driver::write_records_to_path(
+      "/nonexistent-dir/x.csv", {}, driver::RecordFormat::kSummaryCsv));
 }

@@ -1,27 +1,266 @@
 // Unified experiment runner: scheme x straggler scenario x runtime from
-// CLI flags, CSV out.
+// CLI flags, CSV/JSONL out. Three modes:
 //
+//   # one run: per-iteration trace CSV (sim) or summary CSV (threaded)
 //   $ coupon_run --scheme bcc --scenario shifted_exp --runtime sim
-//   $ coupon_run --scheme cr --scenario lossy --runtime threaded
+//   $ coupon_run --scheme cr --scenario no_stragglers --runtime threaded
 //         --workers 8 --units 8 --load 2 --iterations 20 --out run.csv
 //
-// Simulated runs emit one CSV row per iteration (latency trace); threaded
-// runs emit one summary row including final loss and train accuracy. A
-// run-level summary is always printed to stderr so stdout stays clean CSV
-// when --out=-.
+//   # everything the registries know about
+//   $ coupon_run --list
+//
+//   # parallel cartesian sweep, one summary CSV row + JSONL object per cell
+//   $ coupon_run --sweep --schemes bcc,cr --scenarios shifted_exp,lossy
+//         --loads 2,5,10 --iterations 20 --out sweep.csv --jsonl sweep.jsonl
+//
+// Sweeps run on a thread pool (--threads, 0 = hardware, 1 = serial) with
+// per-cell deterministic seeding: the output is bit-identical to a serial
+// run, and any row reproduces as a single coupon_run invocation. A
+// run-level summary is always printed to stderr so stdout stays clean
+// CSV when --out=-.
 
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "core/scheme_registry.hpp"
 #include "driver/driver.hpp"
+#include "driver/sweep.hpp"
 #include "util/util.hpp"
 
+namespace {
+
+using namespace coupon;
+
+/// Splits "a,b,c" into {"a","b","c"}; empty input -> empty list.
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size() && !text.empty()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    out.push_back(text.substr(begin, end - begin));
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  return out;
+}
+
+/// Parses "2,5,10" into sizes; returns false with a diagnostic on junk.
+bool parse_size_list(const std::string& flag, const std::string& text,
+                     std::vector<std::size_t>& out) {
+  for (const auto& item : split_list(text)) {
+    try {
+      std::size_t pos = 0;
+      const long long value = std::stoll(item, &pos);
+      if (pos != item.size() || value < 0) {
+        throw std::invalid_argument(item);
+      }
+      out.push_back(static_cast<std::size_t>(value));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "--%s: '%s' is not a non-negative integer\n",
+                   flag.c_str(), item.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int list_registries() {
+  std::printf("schemes:\n");
+  const auto& schemes = core::SchemeRegistry::instance();
+  for (const auto& name : schemes.names()) {
+    const auto* entry = schemes.find(name);
+    std::string tags;
+    if (entry->caps.supports_partial_decode) {
+      tags += " [partial-decode]";
+    }
+    if (entry->caps.requires_units_equal_workers) {
+      tags += " [m==n]";
+    }
+    if (entry->caps.requires_load_divides_workers) {
+      tags += " [r|n]";
+    }
+    std::string aliases;
+    for (const auto& alias : entry->aliases) {
+      aliases += aliases.empty() ? alias : ", " + alias;
+    }
+    if (!aliases.empty()) {
+      aliases = " (aliases: " + aliases + ")";
+    }
+    std::printf("  %-14s%s\n      %s%s\n", entry->name.c_str(), tags.c_str(),
+                entry->description.c_str(), aliases.c_str());
+  }
+  std::printf("\nscenarios:\n");
+  const auto& scenarios = coupon::driver::ScenarioRegistry::instance();
+  for (const auto& name : scenarios.names()) {
+    const auto* entry = scenarios.find(name);
+    std::printf("  %-14s%s\n      %s\n", entry->name.c_str(),
+                entry->sim_only ? " [sim only]" : "",
+                entry->description.c_str());
+  }
+  std::printf("\nruntimes:\n");
+  for (const auto& name : coupon::driver::runtime_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+int run_single(const coupon::driver::ExperimentConfig& config,
+               const std::string& out_path) {
+  coupon::driver::RunRecord record;
+  try {
+    record = coupon::driver::run_experiment(config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "experiment failed: %s\n", e.what());
+    return 1;
+  }
+
+  // Simulated runs emit the per-iteration trace schema (header-only at
+  // --iterations 0); threaded runs a summary row (with final loss /
+  // train accuracy).
+  const auto format = record.runtime == "sim"
+                          ? coupon::driver::RecordFormat::kTraceCsv
+                          : coupon::driver::RecordFormat::kSummaryCsv;
+  if (!coupon::driver::write_records_to_path(out_path, {record}, format)) {
+    return 1;
+  }
+
+  std::fprintf(stderr,
+               "%s | scenario=%s runtime=%s n=%zu m=%zu r=%zu iters=%zu | "
+               "mean K=%.2f total=%.3fs failures=%zu\n",
+               record.scheme_display.c_str(), record.scenario.c_str(),
+               record.runtime.c_str(), record.num_workers, record.num_units,
+               record.load, record.iterations, record.recovery_threshold,
+               record.total_time, record.failures);
+  return 0;
+}
+
+int run_sweep_mode(const CliFlags& flags,
+                   const coupon::driver::ExperimentConfig& base) {
+  coupon::driver::SweepPlan plan;
+  plan.base = base;
+  plan.schemes = split_list(flags.get_string("schemes"));
+  plan.scenarios = split_list(flags.get_string("scenarios"));
+  if (!parse_size_list("workers_axis", flags.get_string("workers_axis"),
+                       plan.workers) ||
+      !parse_size_list("units_axis", flags.get_string("units_axis"),
+                       plan.units) ||
+      !parse_size_list("loads", flags.get_string("loads"), plan.loads) ||
+      !parse_size_list("iterations_axis",
+                       flags.get_string("iterations_axis"),
+                       plan.iterations)) {
+    return 1;
+  }
+  std::vector<std::size_t> seeds;
+  if (!parse_size_list("seeds", flags.get_string("seeds"), seeds)) {
+    return 1;
+  }
+  plan.seeds.assign(seeds.begin(), seeds.end());
+
+  // Streams: open both before running so path errors surface immediately.
+  const std::string out_path = flags.get_string("out");
+  const std::string jsonl_path = flags.get_string("jsonl");
+  std::ofstream csv_file;
+  std::ostream* csv_os = nullptr;
+  if (out_path == "-") {
+    csv_os = &std::cout;
+  } else {
+    csv_file.open(out_path);
+    if (!csv_file) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   out_path.c_str());
+      return 1;
+    }
+    csv_os = &csv_file;
+  }
+  std::ofstream jsonl_file;
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   jsonl_path.c_str());
+      return 1;
+    }
+  }
+
+  coupon::driver::CsvSummarySink csv_sink(*csv_os);
+  std::unique_ptr<coupon::driver::JsonlSink> jsonl_sink;
+  std::vector<coupon::driver::RecordSink*> sinks = {&csv_sink};
+  if (jsonl_file.is_open()) {
+    jsonl_sink = std::make_unique<coupon::driver::JsonlSink>(jsonl_file);
+    sinks.push_back(jsonl_sink.get());
+  }
+  coupon::driver::TeeSink tee(sinks);
+
+  coupon::driver::SweepOptions options;
+  options.threads = static_cast<std::size_t>(flags.get_int("threads"));
+  options.sink = &tee;
+
+  std::vector<coupon::driver::RunRecord> records;
+  try {
+    records = coupon::driver::run_sweep(plan, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep failed: %s\n", e.what());
+    return 1;
+  }
+
+  csv_os->flush();
+  if (csv_file.is_open()) {
+    csv_file.close();  // flush and surface truncated writes
+  }
+  if (!*csv_os) {
+    std::fprintf(stderr, "error writing '%s'\n", out_path.c_str());
+    return 1;
+  }
+  if (jsonl_file.is_open()) {
+    jsonl_file.close();
+    if (!jsonl_file) {
+      std::fprintf(stderr, "error writing '%s'\n", jsonl_path.c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr, "sweep: %zu cells | runtime=%s threads=%s\n",
+               records.size(), base.runtime.c_str(),
+               options.threads == 0 ? "auto"
+                                    : std::to_string(options.threads).c_str());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  coupon::CliFlags flags;
+  CliFlags flags;
   coupon::driver::add_experiment_flags(flags);
-  flags.add_string("out", "-", "CSV output path ('-' = stdout)");
+  flags.add_string("out", "-", "CSV output path ('-' = stdout)")
+      .add_bool("list", false,
+                "list registered schemes, scenarios, and runtimes")
+      .add_bool("sweep", false,
+                "run a cartesian sweep (see the axis flags below)")
+      .add_string("schemes", "", "sweep: comma-separated scheme axis")
+      .add_string("scenarios", "", "sweep: comma-separated scenario axis")
+      .add_string("workers_axis", "", "sweep: comma-separated n axis")
+      .add_string("units_axis", "",
+                  "sweep: comma-separated m axis (default: m tracks n)")
+      .add_string("loads", "", "sweep: comma-separated r axis")
+      .add_string("iterations_axis", "",
+                  "sweep: comma-separated iterations axis")
+      .add_string("seeds", "", "sweep: comma-separated seed axis")
+      .add_string("jsonl", "", "sweep: also write one JSON object per cell")
+      .add_int("threads", 0, "sweep: worker threads (0 = hardware, 1 = serial)");
   if (!flags.parse(argc, argv)) {
     return 1;
+  }
+
+  if (flags.get_bool("list")) {
+    return list_registries();
   }
 
   const auto config = coupon::driver::config_from_flags(flags);
@@ -29,26 +268,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  coupon::driver::ExperimentResult result;
-  try {
-    result = coupon::driver::run_experiment(*config);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "experiment failed: %s\n", e.what());
-    return 1;
+  if (flags.get_bool("sweep")) {
+    return run_sweep_mode(flags, *config);
   }
-
-  if (!coupon::driver::write_csv_to_path(flags.get_string("out"), result)) {
-    return 1;
-  }
-
-  std::fprintf(stderr,
-               "%s | scenario=%s runtime=%s n=%zu m=%zu r=%zu iters=%zu | "
-               "mean K=%.2f total=%.3fs failures=%zu\n",
-               result.summary.scheme.c_str(), config->scenario.c_str(),
-               std::string(coupon::driver::runtime_name(config->runtime))
-                   .c_str(),
-               config->num_workers, config->num_units, config->load,
-               config->iterations, result.summary.recovery_threshold,
-               result.summary.total_time, result.summary.failures);
-  return 0;
+  return run_single(*config, flags.get_string("out"));
 }
