@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
                "shifted_exp", 0);
            s.cluster.drop_probability = drop;
            return s;
-         }});
+         },
+         .param_builder = {}});
     plan.scenarios.push_back(name);
   }
 

@@ -38,9 +38,23 @@ run "${BUILD_DIR}/tools/coupon_run" --sweep --schemes bcc,cr \
     --out "${TMP_DIR}/sweep_serial.csv"
 cmp "${TMP_DIR}/sweep.csv" "${TMP_DIR}/sweep_serial.csv"
 
+# Pluggable latency models: sweep the new-model scenarios, then replay a
+# per-worker latency trace from CSV via the parameterized trace:<path>
+# scenario.
+run "${BUILD_DIR}/tools/coupon_run" --sweep --schemes bcc,uncoded \
+    --scenarios heavy_tail,weibull,bursty,markov --iterations 5 \
+    --out "${TMP_DIR}/models.csv"
+test "$(wc -l < "${TMP_DIR}/models.csv")" -eq 9
+printf '0.01,0.02,0.03,0.04\n0.02,0.01,0.05,0.03\n' > "${TMP_DIR}/trace.csv"
+run "${BUILD_DIR}/tools/coupon_run" --scheme uncoded \
+    --scenario "trace:${TMP_DIR}/trace.csv" --workers 4 --units 4 --load 1 \
+    --iterations 4 --out "${TMP_DIR}/trace_run.csv"
+test -s "${TMP_DIR}/trace_run.csv"
+
 # --- benches -------------------------------------------------------------
 run "${BUILD_DIR}/bench/bench_ablation_coverage" --trials 200
 run "${BUILD_DIR}/bench/bench_ablation_drop" --iterations 10
+run "${BUILD_DIR}/bench/bench_ablation_latency_models" --iterations 10
 run "${BUILD_DIR}/bench/bench_ablation_master_bw" --iterations 5
 run "${BUILD_DIR}/bench/bench_ablation_r_sweep" --iterations 5 --placements 2
 run "${BUILD_DIR}/bench/bench_coupon_tail" --trials 500

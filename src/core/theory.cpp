@@ -81,6 +81,17 @@ double expected_max_shifted_exponential(double a, double mu, double load,
   return a * load + load / mu * harmonic(n);
 }
 
+double expected_max_pareto(double scale, double alpha, std::size_t n) {
+  COUPON_ASSERT_MSG(scale > 0.0 && alpha > 1.0 && n > 0,
+                    "scale=" << scale << " alpha=" << alpha << " n=" << n);
+  // E[max] = scale * B(n, 1-1/alpha) * n, computed via log-gammas to stay
+  // finite for large n.
+  const double inv = 1.0 / alpha;
+  return scale * std::exp(std::lgamma(static_cast<double>(n) + 1.0) +
+                          std::lgamma(1.0 - inv) -
+                          std::lgamma(static_cast<double>(n) + 1.0 - inv));
+}
+
 std::size_t coupon_draws_once(std::size_t types, stats::Rng& rng) {
   COUPON_ASSERT(types > 0);
   std::vector<bool> seen(types, false);

@@ -58,8 +58,52 @@ double lemma2_tail_bound(std::size_t m, double eps);
 /// Expected max of n i.i.d. shifted exponentials with shift a*load and
 /// rate mu/load: a*load + (load/mu) * H_n. Appears as the waiting time of
 /// wait-for-all schemes and in step (c) of the Theorem 2 proof.
+///
+/// Applicability across the simulator's latency models
+/// (simulate/latency_model.hpp): the paper's analysis splits into
+/// (i) combinatorial predictions about the recovery threshold K and
+/// communication load L (Theorem 1, Eqs. 2/5/6/7) and (ii) runtime
+/// predictions built on the Eq. 15 shifted-exponential law (this
+/// function, Theorem 2, the Tables I/II totals).
+///
+///   * (i) holds under EVERY latency model: K and L depend only on the
+///     placement and on which workers respond first, never on the law of
+///     the compute times — the scenario sweeps across models confirm the
+///     BCC < CR < uncoded threshold ordering everywhere
+///     (bench/ablation_latency_models).
+///   * (ii) is per-model:
+///       - shifted_exp (and the hetero per-worker variant): exact — this
+///         H_n formula is the wait-for-all time.
+///       - bimodal ("bursty"): compute time is a mixture of two shifted
+///         exponentials; the H_n logarithmic max-growth survives with an
+///         inflated effective scale, so Eq. 15 curves are optimistic but
+///         shape-correct.
+///       - weibull with shape k < 1: stretched-exponential tail; E[max]
+///         grows like (log n)^{1/k}, faster than H_n ~ log n. Eq. 15
+///         underestimates the straggler penalty.
+///       - pareto ("heavy_tail"): power-law tail; E[max] grows like
+///         n^{1/alpha} (see expected_max_pareto) and for alpha <= 2 the
+///         variance is infinite — the H_n predictions fail outright, and
+///         with them the paper's "total time proportional to K" rule of
+///         thumb, since one straggler can dominate an entire run.
+///       - markov: marginally shifted-exponential per iteration, but
+///         correlated across iterations; per-iteration expectations match
+///         Eq. 15 while run totals concentrate much more slowly (the
+///         independence assumption behind summing Eq. 15 across
+///         iterations is violated).
+///       - trace: no law at all; only the combinatorial predictions (i)
+///         apply.
 double expected_max_shifted_exponential(double a, double mu, double load,
                                         std::size_t n);
+
+/// Expected max of n i.i.d. Pareto(scale, alpha) draws:
+///   scale * Gamma(n+1) * Gamma(1 - 1/alpha) / Gamma(n+1 - 1/alpha)
+///   ~ scale * Gamma(1 - 1/alpha) * n^{1/alpha},
+/// requires alpha > 1 (diverges otherwise). The heavy-tail counterpart of
+/// `expected_max_shifted_exponential`: polynomial instead of logarithmic
+/// growth in n, which is why Eq. 15's waiting-time predictions collapse
+/// under the heavy_tail scenario.
+double expected_max_pareto(double scale, double alpha, std::size_t n);
 
 // --- Monte-Carlo estimators -----------------------------------------------
 

@@ -53,7 +53,8 @@ std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags) {
   }
 
   config.scenario = flags.get_string("scenario");
-  const auto* scenario = ScenarioRegistry::instance().find(config.scenario);
+  const auto* scenario =
+      ScenarioRegistry::instance().resolve(config.scenario);
   if (scenario == nullptr) {
     std::fprintf(stderr, "%s\n",
                  ScenarioRegistry::instance()

@@ -11,7 +11,9 @@ namespace coupon::driver {
 std::optional<Scenario> make_scenario(std::string_view name,
                                       std::size_t num_workers) {
   const auto& registry = ScenarioRegistry::instance();
-  if (registry.find(name) == nullptr) {
+  // resolve, not find: accepts "name:arg" spellings and rejects a
+  // parameterized entry selected bare.
+  if (registry.resolve(name) == nullptr) {
     return std::nullopt;
   }
   return registry.build(name, num_workers);

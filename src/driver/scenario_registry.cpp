@@ -1,10 +1,12 @@
 #include "driver/scenario_registry.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "simulate/experiment.hpp"
+#include "simulate/latency_model.hpp"
 #include "util/names.hpp"
 
 namespace coupon::driver {
@@ -41,7 +43,8 @@ ScenarioRegistry::ScenarioRegistry() {
        .description =
            "homogeneous shift-exponential compute (Eq. 15), EC2 calibration",
        .sim_only = false,
-       .builder = [](std::size_t) { return ec2_baseline(); }});
+       .builder = [](std::size_t) { return ec2_baseline(); },
+       .param_builder = {}});
   add({.name = "hetero",
        .description =
            "5% fast workers (mu=20), 95% slow (mu=1), Fig. 5 shape (sim only)",
@@ -58,7 +61,8 @@ ScenarioRegistry::ScenarioRegistry() {
            s.cluster.worker_overrides[i].compute_straggle = 20.0;
          }
          return s;
-       }});
+       },
+       .param_builder = {}});
   add({.name = "lossy",
        .description = "shifted_exp plus 5% i.i.d. message loss (sim only)",
        .sim_only = true,
@@ -66,7 +70,8 @@ ScenarioRegistry::ScenarioRegistry() {
          Scenario s = ec2_baseline();
          s.cluster.drop_probability = 0.05;
          return s;
-       }});
+       },
+       .param_builder = {}});
   add({.name = "fast_network",
        .description =
            "10x faster master ingress (compute-dominated regime; sim only)",
@@ -75,7 +80,8 @@ ScenarioRegistry::ScenarioRegistry() {
          Scenario s = ec2_baseline();
          s.cluster.unit_transfer_seconds /= 10.0;
          return s;
-       }});
+       },
+       .param_builder = {}});
   add({.name = "no_stragglers",
        .description = "near-deterministic compute, no loss (best case)",
        .sim_only = false,
@@ -84,6 +90,85 @@ ScenarioRegistry::ScenarioRegistry() {
          s.cluster.compute_straggle = 1e6;  // exponential tail ~ 0
          s.straggler.enabled = false;
          return s;
+       },
+       .param_builder = {}});
+
+  // One scenario per latency model (latency_model.hpp): the regimes the
+  // paper's Eq. 15 analysis excludes. All sim-only — the threaded
+  // runtime's injected sleeps only speak shift-exponential.
+  add({.name = "heavy_tail",
+       .description =
+           "Pareto(alpha=1.5) compute — infinite variance, Karakus-style "
+           "heavy tail (sim only)",
+       .sim_only = true,
+       .builder = [](std::size_t) {
+         Scenario s = ec2_baseline();
+         s.cluster.latency_model = [](std::size_t) {
+           return std::make_unique<simulate::ParetoModel>(
+               /*scale_per_unit=*/1e-3, /*shape=*/1.5);
+         };
+         return s;
+       },
+       .param_builder = {}});
+  add({.name = "weibull",
+       .description =
+           "Weibull(k=0.7) compute — stretched-exponential tail (sim only)",
+       .sim_only = true,
+       .builder = [](std::size_t) {
+         Scenario s = ec2_baseline();
+         s.cluster.latency_model = [](std::size_t) {
+           return std::make_unique<simulate::WeibullModel>(
+               /*shape=*/0.7, /*scale_per_unit=*/2e-3);
+         };
+         return s;
+       },
+       .param_builder = {}});
+  add({.name = "bursty",
+       .description =
+           "each worker slow this iteration w.p. 0.1, by 10x — transient "
+           "slowdowns (sim only)",
+       .sim_only = true,
+       .builder = [](std::size_t) {
+         Scenario s = ec2_baseline();
+         const auto base = s.cluster;
+         s.cluster.latency_model = [base](std::size_t) {
+           return std::make_unique<simulate::BimodalSlowdownModel>(
+               base.compute_shift, base.compute_straggle,
+               /*slow_probability=*/0.1, /*slow_factor=*/10.0);
+         };
+         return s;
+       },
+       .param_builder = {}});
+  add({.name = "markov",
+       .description =
+           "two-state persistent stragglers: enter slow (10x) w.p. 0.05, "
+           "exit w.p. 0.25 (sim only)",
+       .sim_only = true,
+       .builder = [](std::size_t) {
+         Scenario s = ec2_baseline();
+         const auto base = s.cluster;
+         s.cluster.latency_model = [base](std::size_t num_workers) {
+           return std::make_unique<simulate::MarkovStragglerModel>(
+               num_workers, base.compute_shift, base.compute_straggle,
+               /*slow_factor=*/10.0, /*p_enter=*/0.05, /*p_exit=*/0.25);
+         };
+         return s;
+       },
+       .param_builder = {}});
+  add({.name = "trace",
+       .description =
+           "replay per-worker compute latencies from a CSV file; select "
+           "as trace:<path> (sim only)",
+       .sim_only = true,
+       .builder = {},
+       .param_builder = [](std::string_view arg, std::size_t) {
+         Scenario s = ec2_baseline();
+         const std::string path(arg);
+         s.cluster.latency_model = [path](std::size_t num_workers) {
+           return std::make_unique<simulate::TraceReplayModel>(path,
+                                                              num_workers);
+         };
+         return s;
        }});
 }
 
@@ -91,7 +176,7 @@ void ScenarioRegistry::add(ScenarioEntry entry) {
   if (entry.name.empty()) {
     throw std::invalid_argument("scenario registration requires a name");
   }
-  if (!entry.builder) {
+  if (!entry.builder && !entry.param_builder) {
     throw std::invalid_argument("scenario '" + entry.name +
                                 "' registered without a builder");
   }
@@ -111,14 +196,31 @@ const ScenarioEntry* ScenarioRegistry::find(std::string_view name) const {
   return nullptr;
 }
 
+const ScenarioEntry* ScenarioRegistry::resolve(std::string_view name) const {
+  const ScenarioEntry* exact = find(name);
+  if (exact != nullptr) {
+    return exact->builder ? exact : nullptr;  // param-only needs an arg
+  }
+  const std::size_t colon = name.find(':');
+  if (colon == std::string_view::npos) {
+    return nullptr;
+  }
+  const ScenarioEntry* entry = find(name.substr(0, colon));
+  return entry != nullptr && entry->param_builder ? entry : nullptr;
+}
+
 Scenario ScenarioRegistry::build(std::string_view name,
                                  std::size_t num_workers) const {
-  const ScenarioEntry* entry = find(name);
+  const ScenarioEntry* entry = resolve(name);
   if (entry == nullptr) {
     throw std::invalid_argument(unknown_message(name));
   }
-  Scenario scenario = entry->builder(num_workers);
-  scenario.name = entry->name;
+  Scenario scenario =
+      name == entry->name
+          ? entry->builder(num_workers)
+          : entry->param_builder(name.substr(entry->name.size() + 1),
+                                 num_workers);
+  scenario.name = std::string(name);  // full spelling, e.g. "trace:<path>"
   scenario.description = entry->description;
   scenario.sim_only = entry->sim_only;
   return scenario;
@@ -136,6 +238,14 @@ std::vector<std::string> ScenarioRegistry::names() const {
 std::string ScenarioRegistry::choices() const { return join_names(names()); }
 
 std::string ScenarioRegistry::unknown_message(std::string_view name) const {
+  // A parameterized-only entry selected bare is not "unknown" — explain
+  // the name:arg spelling instead of suggesting the name to itself.
+  const ScenarioEntry* exact = find(name);
+  if (exact != nullptr && !exact->builder) {
+    return "scenario '" + std::string(name) +
+           "' requires an argument; select it as '" + exact->name +
+           ":<arg>'";
+  }
   return unknown_name_message("scenario", name, names());
 }
 

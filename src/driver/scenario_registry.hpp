@@ -43,28 +43,46 @@ struct Scenario {
 /// One registry entry. The builder fills the dual cluster/straggler view
 /// for `num_workers` workers; name/description/sim_only are stamped onto
 /// the built Scenario by the registry so they stay single-sourced here.
+/// An entry may instead (or additionally) provide `param_builder`, making
+/// it selectable as "name:arg" — e.g. "trace:<path>" builds a
+/// trace-replay scenario from a CSV file.
 struct ScenarioEntry {
   std::string name;
   std::string description;
   bool sim_only = false;
   std::function<Scenario(std::size_t num_workers)> builder;
+  /// Builder for the parameterized "name:arg" spelling; the argument is
+  /// everything after the first ':'.
+  std::function<Scenario(std::string_view arg, std::size_t num_workers)>
+      param_builder;
 };
 
 /// Process-wide scenario registry. Built-ins (shifted_exp, hetero, lossy,
-/// fast_network, no_stragglers) are registered on first access.
+/// fast_network, no_stragglers, and one per latency model: heavy_tail,
+/// weibull, bursty, markov, trace:<path>) are registered on first access.
 class ScenarioRegistry {
  public:
   static ScenarioRegistry& instance();
 
   /// Registers `entry`; throws std::invalid_argument on a duplicate
-  /// name, an empty name, or a missing builder.
+  /// name, an empty name, or no builder of either kind.
   void add(ScenarioEntry entry);
 
-  /// Looks up by name; nullptr when unknown.
+  /// Looks up by exact registered name; nullptr when unknown. (The
+  /// "--list" view: a parameterized entry is returned under its bare
+  /// name.)
   const ScenarioEntry* find(std::string_view name) const;
 
-  /// Realizes the named scenario for `num_workers` workers. Throws
-  /// std::invalid_argument listing the valid choices on an unknown name.
+  /// Resolves a scenario *selection*: an exact name with a builder, or
+  /// "name:arg" for an entry with a param_builder. nullptr when the
+  /// selection cannot be built.
+  const ScenarioEntry* resolve(std::string_view name) const;
+
+  /// Realizes the named scenario for `num_workers` workers. Accepts both
+  /// plain and "name:arg" spellings; the built Scenario's `name` is the
+  /// full spelling. Throws std::invalid_argument listing the valid
+  /// choices on an unknown name, or explaining the "name:arg" form when
+  /// a parameterized entry is selected bare.
   Scenario build(std::string_view name, std::size_t num_workers) const;
 
   /// Names in registration order.
@@ -73,7 +91,9 @@ class ScenarioRegistry {
   /// "shifted_exp|hetero|..." for --help strings.
   std::string choices() const;
 
-  /// "unknown scenario 'x' (choices: ...)" — the shared diagnostic.
+  /// "unknown scenario 'x' (did you mean 'y'? choices: ...)" — the
+  /// shared diagnostic; a parameterized entry selected bare gets the
+  /// "requires an argument; select it as 'name:<arg>'" explanation.
   std::string unknown_message(std::string_view name) const;
 
  private:

@@ -42,7 +42,7 @@ std::vector<SweepCell> expand_plan(const SweepPlan& plan) {
   }
   const auto& scenario_registry = ScenarioRegistry::instance();
   for (const auto& scenario : scenarios) {
-    if (scenario_registry.find(scenario) == nullptr) {
+    if (scenario_registry.resolve(scenario) == nullptr) {
       throw std::invalid_argument(
           scenario_registry.unknown_message(scenario));
     }
@@ -59,7 +59,7 @@ std::vector<SweepCell> expand_plan(const SweepPlan& plan) {
   const bool threaded = runtime->name() == "threaded";
   if (threaded) {
     for (const auto& scenario : scenarios) {
-      if (scenario_registry.find(scenario)->sim_only) {
+      if (scenario_registry.resolve(scenario)->sim_only) {
         throw std::invalid_argument(
             "scenario '" + scenario +
             "' only varies simulator-side knobs; use the sim runtime");

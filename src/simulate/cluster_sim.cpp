@@ -1,19 +1,72 @@
 #include "simulate/cluster_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 
-#include "stats/distributions.hpp"
 #include "util/assert.hpp"
 
 namespace coupon::simulate {
 
+void validate_cluster_config(const ClusterConfig& config,
+                             std::size_t num_workers) {
+  COUPON_ASSERT_MSG(config.compute_shift >= 0.0,
+                    "compute_shift must be >= 0, got "
+                        << config.compute_shift);
+  COUPON_ASSERT_MSG(config.compute_straggle > 0.0,
+                    "compute_straggle must be > 0, got "
+                        << config.compute_straggle);
+  COUPON_ASSERT_MSG(config.unit_transfer_seconds >= 0.0,
+                    "unit_transfer_seconds must be >= 0, got "
+                        << config.unit_transfer_seconds);
+  COUPON_ASSERT_MSG(config.broadcast_seconds >= 0.0,
+                    "broadcast_seconds must be >= 0, got "
+                        << config.broadcast_seconds);
+  COUPON_ASSERT_MSG(
+      config.drop_probability >= 0.0 && config.drop_probability <= 1.0,
+      "drop_probability must be in [0, 1], got " << config.drop_probability);
+  COUPON_ASSERT_MSG(config.worker_overrides.empty() ||
+                        config.worker_overrides.size() == num_workers,
+                    "worker_overrides must be empty or size n");
+  for (std::size_t i = 0; i < config.worker_overrides.size(); ++i) {
+    const auto& o = config.worker_overrides[i];
+    COUPON_ASSERT_MSG(o.compute_shift >= 0.0 && o.compute_straggle > 0.0,
+                      "worker_overrides[" << i << "]: shift="
+                                          << o.compute_shift << " straggle="
+                                          << o.compute_straggle);
+  }
+}
+
+std::unique_ptr<LatencyModel> make_latency_model(const ClusterConfig& config,
+                                                 std::size_t num_workers) {
+  validate_cluster_config(config, num_workers);
+  if (config.latency_model) {
+    auto model = config.latency_model(num_workers);
+    COUPON_ASSERT_MSG(model != nullptr,
+                      "ClusterConfig::latency_model returned null");
+    return model;
+  }
+  return std::make_unique<ShiftedExpModel>(config.compute_shift,
+                                           config.compute_straggle,
+                                           config.worker_overrides);
+}
+
 IterationReport simulate_iteration(const core::Scheme& scheme,
                                    const ClusterConfig& config,
                                    stats::Rng& rng) {
+  const auto model = make_latency_model(config, scheme.num_workers());
+  return simulate_iteration(scheme, config, *model, /*iteration=*/0, rng);
+}
+
+IterationReport simulate_iteration(const core::Scheme& scheme,
+                                   const ClusterConfig& config,
+                                   LatencyModel& model, std::size_t iteration,
+                                   stats::Rng& rng) {
+  // No validate_cluster_config here: both entry points that reach this
+  // overload (simulate_run and the model-building simulate_iteration)
+  // already validated via make_latency_model, and the config cannot
+  // change between iterations — re-walking worker_overrides every
+  // iteration would be pure overhead in the run loop.
   const std::size_t n = scheme.num_workers();
-  COUPON_ASSERT_MSG(config.worker_overrides.empty() ||
-                        config.worker_overrides.size() == n,
-                    "worker_overrides must be empty or size n");
   auto collector = scheme.make_collector();
 
   EventQueue queue;
@@ -27,6 +80,9 @@ IterationReport simulate_iteration(const core::Scheme& scheme,
   received_compute.reserve(n);
   double completion_time = 0.0;
 
+  // Stateful models advance here, before any drop/latency draw.
+  model.begin_iteration(iteration, rng);
+
   // Schedule every worker's compute completion.
   for (std::size_t i = 0; i < n; ++i) {
     if (config.drop_probability > 0.0 &&
@@ -37,14 +93,10 @@ IterationReport simulate_iteration(const core::Scheme& scheme,
         static_cast<double>(scheme.placement().worker(i).size());
     double compute = 0.0;
     if (load > 0.0) {
-      const double a = config.worker_overrides.empty()
-                           ? config.compute_shift
-                           : config.worker_overrides[i].compute_shift;
-      const double mu = config.worker_overrides.empty()
-                            ? config.compute_straggle
-                            : config.worker_overrides[i].compute_straggle;
-      const auto dist = stats::ShiftedExponential::for_load(a, mu, load);
-      compute = dist.sample(rng);
+      compute = model.sample_compute_seconds({i, iteration, load}, rng);
+      COUPON_ASSERT_MSG(compute >= 0.0 && std::isfinite(compute),
+                        "latency model '" << model.name() << "' drew "
+                                          << compute << " for worker " << i);
     }
     const double finish = config.broadcast_seconds + compute;
     queue.schedule(finish, [&, i, compute] {
@@ -94,10 +146,11 @@ IterationReport simulate_iteration(const core::Scheme& scheme,
 RunReport simulate_run(const core::Scheme& scheme,
                        const ClusterConfig& config, std::size_t iterations,
                        stats::Rng& rng) {
+  const auto model = make_latency_model(config, scheme.num_workers());
   RunReport run;
   run.iterations.reserve(iterations);
   for (std::size_t t = 0; t < iterations; ++t) {
-    IterationReport it = simulate_iteration(scheme, config, rng);
+    IterationReport it = simulate_iteration(scheme, config, *model, t, rng);
     run.total_time += it.total_time;
     run.total_compute_time += it.compute_time;
     run.total_comm_time += it.comm_time;

@@ -7,10 +7,13 @@
 /// Per iteration:
 ///   1. The master broadcasts the model; every worker starts computing
 ///      after `broadcast_seconds`.
-///   2. Worker i's compute time is shift-exponential in its load
-///      (Eq. 15 applied per unit): shift = compute_shift * load_units,
-///      rate = compute_straggle / load_units. Redrawn each iteration —
-///      stragglers move around, as in a real cluster.
+///   2. Worker i's compute time is drawn from the cluster's pluggable
+///      `LatencyModel` (latency_model.hpp). The default reproduces the
+///      paper: shift-exponential in the load (Eq. 15 applied per unit),
+///      shift = compute_shift * load_units, rate = compute_straggle /
+///      load_units, redrawn each iteration — stragglers move around, as
+///      in a real cluster. Other models give heavy tails, bursty or
+///      Markov-persistent stragglers, or replayed traces.
 ///   3. Finished workers ship their encoded message to the master. The
 ///      master's ingress link is a serialized FIFO resource: receiving a
 ///      message occupies it for message_units * unit_transfer_seconds.
@@ -26,20 +29,16 @@
 /// before the iteration ended; communication time is the remainder.
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/scheme.hpp"
 #include "simulate/event_queue.hpp"
+#include "simulate/latency_model.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
 
 namespace coupon::simulate {
-
-/// Per-worker compute-latency override (Eq. 15 parameters).
-struct WorkerLatency {
-  double compute_shift = 1e-3;     ///< a_i, seconds per unit of load
-  double compute_straggle = 1.0;   ///< mu_i
-};
 
 /// Latency parameters of the simulated cluster.
 struct ClusterConfig {
@@ -61,7 +60,29 @@ struct ClusterConfig {
   /// non-empty, must have exactly one entry per worker and overrides the
   /// homogeneous compute_shift/compute_straggle above.
   std::vector<WorkerLatency> worker_overrides;
+  /// Optional compute-latency law. When set, each run builds a fresh
+  /// model from this factory and the shift/straggle/override fields above
+  /// are ignored; when empty (the default) the simulator uses
+  /// `ShiftedExpModel` built from those fields — the paper's Eq. 15,
+  /// bit-identical to the pre-refactor behaviour.
+  LatencyModelFactory latency_model;
 };
+
+/// Validates the cluster knobs for an `num_workers`-worker simulation:
+/// compute_shift/broadcast_seconds/unit_transfer_seconds >= 0,
+/// compute_straggle > 0, drop_probability in [0, 1], and worker_overrides
+/// empty or exactly one valid entry per worker. Throws
+/// coupon::AssertionError with the offending knob and value instead of
+/// letting a bad config silently produce NaN or degenerate traces.
+/// Called by simulate_iteration/simulate_run on entry.
+void validate_cluster_config(const ClusterConfig& config,
+                             std::size_t num_workers);
+
+/// Builds the run's latency model: `config.latency_model(num_workers)`
+/// when set, otherwise the default `ShiftedExpModel` over the config's
+/// shift/straggle/override fields.
+std::unique_ptr<LatencyModel> make_latency_model(const ClusterConfig& config,
+                                                 std::size_t num_workers);
 
 /// Outcome of a single simulated GD iteration.
 struct IterationReport {
@@ -87,12 +108,26 @@ struct RunReport {
 
 /// Simulates one iteration of distributed GD for `scheme` on a cluster
 /// described by `config`. Uses the scheme's combinatorial interface only
-/// (no gradients are computed).
+/// (no gradients are computed). Builds a fresh latency model for the
+/// single iteration; multi-iteration runs must use `simulate_run` (or the
+/// model-threading overload below) so stateful models keep their state.
 IterationReport simulate_iteration(const core::Scheme& scheme,
                                    const ClusterConfig& config,
                                    stats::Rng& rng);
 
-/// Simulates `iterations` independent iterations and aggregates.
+/// As above, but samples compute times from the caller's `model` for GD
+/// iteration `iteration` (calls `model.begin_iteration` first). This is
+/// the primitive `simulate_run` loops over; it assumes `config` was
+/// already validated (use `make_latency_model`, which validates, to
+/// obtain the model).
+IterationReport simulate_iteration(const core::Scheme& scheme,
+                                   const ClusterConfig& config,
+                                   LatencyModel& model, std::size_t iteration,
+                                   stats::Rng& rng);
+
+/// Simulates `iterations` iterations against one latency-model instance
+/// (independent draws for memoryless models; correlated across iterations
+/// for Markov/trace models) and aggregates.
 RunReport simulate_run(const core::Scheme& scheme, const ClusterConfig& config,
                        std::size_t iterations, stats::Rng& rng);
 

@@ -1,0 +1,184 @@
+#include "simulate/latency_model.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace coupon::simulate {
+
+void LatencyModel::begin_iteration(std::size_t /*iteration*/,
+                                   stats::Rng& /*rng*/) {}
+
+ShiftedExpModel::ShiftedExpModel(double compute_shift,
+                                 double compute_straggle,
+                                 std::vector<WorkerLatency> worker_overrides)
+    : compute_shift_(compute_shift),
+      compute_straggle_(compute_straggle),
+      worker_overrides_(std::move(worker_overrides)) {
+  COUPON_ASSERT_MSG(compute_shift_ >= 0.0 && compute_straggle_ > 0.0,
+                    "shift=" << compute_shift_
+                             << " straggle=" << compute_straggle_);
+}
+
+double ShiftedExpModel::sample_compute_seconds(const LatencyContext& ctx,
+                                               stats::Rng& rng) {
+  const bool overridden = !worker_overrides_.empty();
+  COUPON_ASSERT_MSG(!overridden || ctx.worker < worker_overrides_.size(),
+                    "worker " << ctx.worker << " has no override");
+  const double a =
+      overridden ? worker_overrides_[ctx.worker].compute_shift
+                 : compute_shift_;
+  const double mu =
+      overridden ? worker_overrides_[ctx.worker].compute_straggle
+                 : compute_straggle_;
+  return stats::ShiftedExponential::for_load(a, mu, ctx.load).sample(rng);
+}
+
+ParetoModel::ParetoModel(double scale_per_unit, double shape)
+    : scale_per_unit_(scale_per_unit), shape_(shape) {
+  COUPON_ASSERT_MSG(scale_per_unit_ > 0.0 && shape_ > 0.0,
+                    "scale=" << scale_per_unit_ << " shape=" << shape_);
+}
+
+double ParetoModel::sample_compute_seconds(const LatencyContext& ctx,
+                                           stats::Rng& rng) {
+  return stats::Pareto{scale_per_unit_ * ctx.load, shape_}.sample(rng);
+}
+
+WeibullModel::WeibullModel(double shape, double scale_per_unit)
+    : shape_(shape), scale_per_unit_(scale_per_unit) {
+  COUPON_ASSERT_MSG(shape_ > 0.0 && scale_per_unit_ > 0.0,
+                    "shape=" << shape_ << " scale=" << scale_per_unit_);
+}
+
+double WeibullModel::sample_compute_seconds(const LatencyContext& ctx,
+                                            stats::Rng& rng) {
+  return stats::Weibull{shape_, scale_per_unit_ * ctx.load}.sample(rng);
+}
+
+BimodalSlowdownModel::BimodalSlowdownModel(double compute_shift,
+                                           double compute_straggle,
+                                           double slow_probability,
+                                           double slow_factor)
+    : base_(compute_shift, compute_straggle),
+      slow_probability_(slow_probability),
+      slow_factor_(slow_factor) {
+  COUPON_ASSERT_MSG(
+      slow_probability_ >= 0.0 && slow_probability_ <= 1.0 &&
+          slow_factor_ >= 1.0,
+      "p=" << slow_probability_ << " factor=" << slow_factor_);
+}
+
+double BimodalSlowdownModel::sample_compute_seconds(const LatencyContext& ctx,
+                                                    stats::Rng& rng) {
+  const bool slow = rng.bernoulli(slow_probability_);
+  const double base = base_.sample_compute_seconds(ctx, rng);
+  return slow ? slow_factor_ * base : base;
+}
+
+MarkovStragglerModel::MarkovStragglerModel(std::size_t num_workers,
+                                           double compute_shift,
+                                           double compute_straggle,
+                                           double slow_factor, double p_enter,
+                                           double p_exit)
+    : base_(compute_shift, compute_straggle),
+      slow_factor_(slow_factor),
+      p_enter_(p_enter),
+      p_exit_(p_exit),
+      slow_(num_workers, 0) {
+  COUPON_ASSERT_MSG(slow_factor_ >= 1.0 && p_enter_ >= 0.0 &&
+                        p_enter_ <= 1.0 && p_exit_ > 0.0 && p_exit_ <= 1.0,
+                    "factor=" << slow_factor_ << " p_enter=" << p_enter_
+                              << " p_exit=" << p_exit_);
+}
+
+void MarkovStragglerModel::begin_iteration(std::size_t /*iteration*/,
+                                           stats::Rng& rng) {
+  if (!initialized_) {
+    // First iteration: draw each worker's state from the stationary law
+    // so the run has no warm-up transient.
+    const double stationary_slow = p_enter_ / (p_enter_ + p_exit_);
+    for (auto& slow : slow_) {
+      slow = rng.bernoulli(stationary_slow) ? 1 : 0;
+    }
+    initialized_ = true;
+    return;
+  }
+  for (auto& slow : slow_) {
+    slow = slow ? (rng.bernoulli(p_exit_) ? 0 : 1)
+                : (rng.bernoulli(p_enter_) ? 1 : 0);
+  }
+}
+
+double MarkovStragglerModel::sample_compute_seconds(const LatencyContext& ctx,
+                                                    stats::Rng& rng) {
+  COUPON_ASSERT_MSG(ctx.worker < slow_.size(),
+                    "worker " << ctx.worker << " outside the "
+                              << slow_.size() << "-worker Markov chain");
+  const double base = base_.sample_compute_seconds(ctx, rng);
+  return slow_[ctx.worker] ? slow_factor_ * base : base;
+}
+
+TraceReplayModel::TraceReplayModel(const std::string& csv_path,
+                                   std::size_t num_workers) {
+  std::ifstream in(csv_path);
+  if (!in) {
+    throw std::invalid_argument("latency trace '" + csv_path +
+                                "' cannot be opened");
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Tolerate trailing carriage returns from Windows-edited traces.
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::vector<double> row;
+    std::istringstream fields(line);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+      std::size_t pos = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(field, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      // std::isfinite, not just >= 0: std::stod parses "inf" and "nan",
+      // and an infinite latency would poison the whole trace.
+      if (pos != field.size() || field.empty() || !std::isfinite(value) ||
+          value < 0.0) {
+        throw std::invalid_argument(
+            "latency trace '" + csv_path + "' line " +
+            std::to_string(line_no) + ": '" + field +
+            "' is not a finite non-negative latency in seconds");
+      }
+      row.push_back(value);
+    }
+    if (row.size() != num_workers) {
+      throw std::invalid_argument(
+          "latency trace '" + csv_path + "' line " +
+          std::to_string(line_no) + ": " + std::to_string(row.size()) +
+          " columns for " + std::to_string(num_workers) + " workers");
+    }
+    rows_.push_back(std::move(row));
+  }
+  if (rows_.empty()) {
+    throw std::invalid_argument("latency trace '" + csv_path +
+                                "' has no data rows");
+  }
+}
+
+double TraceReplayModel::sample_compute_seconds(const LatencyContext& ctx,
+                                                stats::Rng& /*rng*/) {
+  return rows_[ctx.iteration % rows_.size()][ctx.worker];
+}
+
+}  // namespace coupon::simulate

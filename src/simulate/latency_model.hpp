@@ -1,0 +1,204 @@
+#pragma once
+
+/// \file latency_model.hpp
+/// Pluggable per-worker compute-latency laws for the cluster simulator
+/// (DESIGN.md §6).
+///
+/// The paper's runtime analysis (Eq. 15, Tables I/II) assumes every
+/// worker's compute time is shifted-exponential in its load. That law is
+/// exactly one `LatencyModel` implementation here (`ShiftedExpModel`, the
+/// default — bit-identical to the pre-refactor hard-coded draw); the
+/// interface opens the simulator to the regimes related work cares
+/// about: heavy tails (Pareto, Karakus et al.), stretched-exponential
+/// tails (Weibull), sporadic per-iteration slowdowns (Bitar et al.'s
+/// bimodal stragglers), slowness that persists across iterations
+/// (two-state Markov), and measured traces replayed from CSV.
+///
+/// Contract:
+///   * One model instance serves one run. `simulate_run` constructs it
+///     from `ClusterConfig::latency_model` (or defaults to
+///     `ShiftedExpModel`) and reuses it across iterations, so models may
+///     carry cross-iteration state.
+///   * Per iteration, the simulator calls `begin_iteration` once, before
+///     any other random draw of that iteration, then
+///     `sample_compute_seconds` once per loaded, non-dropped worker, in
+///     worker order. All randomness must come from the passed `Rng` so a
+///     seed fully determines the trace (replay needs none and ignores it).
+///   * Samples must be finite and >= 0 seconds; `ClusterConfig`
+///     validation guarantees models are constructed from sane parameters.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace coupon::simulate {
+
+/// Per-worker compute-latency override (Eq. 15 parameters); used by the
+/// heterogeneous-cluster scenarios of Fig. 5.
+struct WorkerLatency {
+  double compute_shift = 1e-3;    ///< a_i, seconds per unit of load
+  double compute_straggle = 1.0;  ///< mu_i
+};
+
+/// Everything a model may condition one draw on.
+struct LatencyContext {
+  std::size_t worker = 0;     ///< worker id in [0, n)
+  std::size_t iteration = 0;  ///< GD iteration index within the run
+  double load = 0.0;          ///< units of work assigned; always > 0
+};
+
+/// A per-worker compute-time law. See the file comment for the calling
+/// contract.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Stable identifier ("shifted_exp", "pareto", ...) for diagnostics.
+  virtual std::string_view name() const = 0;
+
+  /// Called once at the start of iteration `iteration`, before any drop
+  /// or latency draw. Stateful models (Markov) advance cross-iteration
+  /// state here; the default is a no-op that draws nothing, which keeps
+  /// stateless models bit-compatible with the pre-refactor RNG stream.
+  virtual void begin_iteration(std::size_t iteration, stats::Rng& rng);
+
+  /// Draws the compute time (seconds) of `ctx.worker` this iteration.
+  virtual double sample_compute_seconds(const LatencyContext& ctx,
+                                        stats::Rng& rng) = 0;
+};
+
+/// Builds a fresh model for an `n`-worker cluster. Stored on
+/// `ClusterConfig` (value semantics: copying a config copies the factory,
+/// and every run gets its own model instance with fresh state).
+using LatencyModelFactory =
+    std::function<std::unique_ptr<LatencyModel>(std::size_t num_workers)>;
+
+/// The paper's law (Eq. 15): shift a*r plus an Exp(mu/r) tail, redrawn
+/// every iteration. With `worker_overrides` non-empty, worker i uses its
+/// own (a_i, mu_i) — the heterogeneous clusters of Fig. 5. Bit-identical
+/// to the pre-refactor hard-coded draw (one exponential per sample).
+class ShiftedExpModel final : public LatencyModel {
+ public:
+  ShiftedExpModel(double compute_shift, double compute_straggle,
+                  std::vector<WorkerLatency> worker_overrides = {});
+
+  std::string_view name() const override { return "shifted_exp"; }
+  double sample_compute_seconds(const LatencyContext& ctx,
+                                stats::Rng& rng) override;
+
+ private:
+  double compute_shift_;
+  double compute_straggle_;
+  std::vector<WorkerLatency> worker_overrides_;
+};
+
+/// Heavy-tailed compute: Pareto with left endpoint `scale_per_unit *
+/// load` and tail index `shape`. For shape <= 2 the variance is infinite;
+/// Eq. 15's H_n waiting-time predictions do not apply (see theory.hpp).
+class ParetoModel final : public LatencyModel {
+ public:
+  ParetoModel(double scale_per_unit, double shape);
+
+  std::string_view name() const override { return "pareto"; }
+  double sample_compute_seconds(const LatencyContext& ctx,
+                                stats::Rng& rng) override;
+
+ private:
+  double scale_per_unit_;
+  double shape_;
+};
+
+/// Weibull compute with scale `scale_per_unit * load`; shape < 1 gives a
+/// stretched-exponential tail (between Eq. 15 and Pareto in severity).
+class WeibullModel final : public LatencyModel {
+ public:
+  WeibullModel(double shape, double scale_per_unit);
+
+  std::string_view name() const override { return "weibull"; }
+  double sample_compute_seconds(const LatencyContext& ctx,
+                                stats::Rng& rng) override;
+
+ private:
+  double shape_;
+  double scale_per_unit_;
+};
+
+/// Bitar et al.'s sporadic-straggler shape: each worker is independently
+/// slow *this iteration* with probability `slow_probability`, multiplying
+/// its shifted-exponential draw by `slow_factor`. Draw order per sample:
+/// one Bernoulli, then one exponential.
+class BimodalSlowdownModel final : public LatencyModel {
+ public:
+  BimodalSlowdownModel(double compute_shift, double compute_straggle,
+                       double slow_probability, double slow_factor);
+
+  std::string_view name() const override { return "bimodal"; }
+  double sample_compute_seconds(const LatencyContext& ctx,
+                                stats::Rng& rng) override;
+
+ private:
+  ShiftedExpModel base_;
+  double slow_probability_;
+  double slow_factor_;
+};
+
+/// Persistent stragglers: each worker carries a two-state (fast/slow)
+/// Markov chain across iterations — slow workers' draws are multiplied
+/// by `slow_factor`. `begin_iteration` initializes every worker from the
+/// stationary law on its first call, then applies one fast->slow /
+/// slow->fast transition per worker per iteration (n Bernoullis, worker
+/// order). Expected slow-spell length is 1/p_exit iterations; the
+/// stationary slow fraction is p_enter / (p_enter + p_exit). This is the
+/// regime where redrawing stragglers every iteration — the independence
+/// assumption behind the paper's per-iteration analysis — breaks down.
+class MarkovStragglerModel final : public LatencyModel {
+ public:
+  MarkovStragglerModel(std::size_t num_workers, double compute_shift,
+                       double compute_straggle, double slow_factor,
+                       double p_enter, double p_exit);
+
+  std::string_view name() const override { return "markov"; }
+  void begin_iteration(std::size_t iteration, stats::Rng& rng) override;
+  double sample_compute_seconds(const LatencyContext& ctx,
+                                stats::Rng& rng) override;
+
+  /// Test hook: worker states after the last begin_iteration.
+  const std::vector<char>& slow_states() const { return slow_; }
+
+ private:
+  ShiftedExpModel base_;
+  double slow_factor_;
+  double p_enter_;
+  double p_exit_;
+  bool initialized_ = false;
+  std::vector<char> slow_;  // one flag per worker
+};
+
+/// Replays measured per-worker compute latencies from a CSV file: one row
+/// per iteration, one column per worker, values in seconds (blank lines
+/// and '#' comments skipped). Iterations wrap around modulo the row
+/// count; the load is ignored (the trace already reflects it) and no
+/// randomness is consumed. Throws std::invalid_argument on an unreadable
+/// file, a row whose width differs from `num_workers`, or a negative /
+/// non-numeric value.
+class TraceReplayModel final : public LatencyModel {
+ public:
+  TraceReplayModel(const std::string& csv_path, std::size_t num_workers);
+
+  std::string_view name() const override { return "trace"; }
+  double sample_compute_seconds(const LatencyContext& ctx,
+                                stats::Rng& rng) override;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace coupon::simulate

@@ -3,6 +3,7 @@
 /// \file simulate.hpp
 /// Umbrella header for the simulate module.
 
-#include "simulate/cluster_sim.hpp" // IWYU pragma: export
-#include "simulate/event_queue.hpp" // IWYU pragma: export
-#include "simulate/experiment.hpp"  // IWYU pragma: export
+#include "simulate/cluster_sim.hpp"   // IWYU pragma: export
+#include "simulate/event_queue.hpp"   // IWYU pragma: export
+#include "simulate/experiment.hpp"    // IWYU pragma: export
+#include "simulate/latency_model.hpp" // IWYU pragma: export

@@ -45,4 +45,57 @@ double ShiftedExponential::quantile(double p) const {
   return shift - std::log(1.0 - p) / rate;
 }
 
+double Pareto::sample(Rng& rng) const {
+  COUPON_ASSERT(scale > 0.0 && shape > 0.0);
+  // Inverse-CDF: uniform() < 1, so the argument stays positive.
+  return scale * std::pow(1.0 - rng.uniform(), -1.0 / shape);
+}
+
+double Pareto::mean() const {
+  COUPON_ASSERT_MSG(shape > 1.0, "Pareto mean diverges for shape <= 1");
+  return scale * shape / (shape - 1.0);
+}
+
+double Pareto::variance() const {
+  COUPON_ASSERT_MSG(shape > 2.0, "Pareto variance diverges for shape <= 2");
+  return scale * scale * shape / ((shape - 1.0) * (shape - 1.0) *
+                                  (shape - 2.0));
+}
+
+double Pareto::cdf(double t) const {
+  if (t <= scale) {
+    return 0.0;
+  }
+  return 1.0 - std::pow(scale / t, shape);
+}
+
+double Pareto::quantile(double p) const {
+  COUPON_ASSERT(p >= 0.0 && p < 1.0);
+  return scale * std::pow(1.0 - p, -1.0 / shape);
+}
+
+double Weibull::sample(Rng& rng) const {
+  COUPON_ASSERT(shape > 0.0 && scale > 0.0);
+  return scale * std::pow(-std::log(1.0 - rng.uniform()), 1.0 / shape);
+}
+
+double Weibull::mean() const { return scale * std::tgamma(1.0 + 1.0 / shape); }
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape);
+  return scale * scale * (std::tgamma(1.0 + 2.0 / shape) - g1 * g1);
+}
+
+double Weibull::cdf(double t) const {
+  if (t <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 - std::exp(-std::pow(t / scale, shape));
+}
+
+double Weibull::quantile(double p) const {
+  COUPON_ASSERT(p >= 0.0 && p < 1.0);
+  return scale * std::pow(-std::log(1.0 - p), 1.0 / shape);
+}
+
 }  // namespace coupon::stats

@@ -51,6 +51,42 @@ struct ShiftedExponential {
   double quantile(double p) const;
 };
 
+/// Pareto (type I) distribution: Pr[T <= t] = 1 - (scale/t)^shape for
+/// t >= scale. The heavy-tailed completion-time law of the related-work
+/// cluster studies (Karakus et al.): for shape <= 2 the variance is
+/// infinite and for shape <= 1 even the mean diverges, so none of the
+/// paper's shifted-exponential order-statistics predictions (Eq. 15 and
+/// the H_n waiting times built on it) apply.
+struct Pareto {
+  double scale = 1.0;  ///< x_m, the left endpoint; must be > 0
+  double shape = 2.0;  ///< alpha, the tail index; must be > 0
+
+  double sample(Rng& rng) const;
+  /// Mean scale*shape/(shape-1); requires shape > 1 (diverges otherwise).
+  double mean() const;
+  /// Variance scale^2*shape/((shape-1)^2(shape-2)); requires shape > 2.
+  double variance() const;
+  double cdf(double t) const;
+  /// Inverse CDF; p in [0, 1).
+  double quantile(double p) const;
+};
+
+/// Weibull distribution: Pr[T <= t] = 1 - exp(-(t/scale)^shape), t >= 0.
+/// shape < 1 gives a subexponential (stretched-exponential) tail — slow
+/// workers are rarer than Pareto but far more common than Eq. 15
+/// predicts; shape = 1 recovers Exponential{1/scale}.
+struct Weibull {
+  double shape = 1.0;  ///< k; must be > 0
+  double scale = 1.0;  ///< lambda; must be > 0
+
+  double sample(Rng& rng) const;
+  double mean() const;      ///< scale * Gamma(1 + 1/shape)
+  double variance() const;  ///< scale^2 * (Gamma(1+2/k) - Gamma(1+1/k)^2)
+  double cdf(double t) const;
+  /// Inverse CDF; p in [0, 1).
+  double quantile(double p) const;
+};
+
 /// Two-component spherical Gaussian mixture used by the paper's synthetic
 /// dataset (Section III-C): x ~ 0.5 N(mu1, I) + 0.5 N(mu2, I).
 struct GaussianMixture2 {

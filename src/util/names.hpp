@@ -2,9 +2,12 @@
 
 /// \file names.hpp
 /// Shared helpers for name registries: choice-list joining and the
-/// common "unknown X 'y' (choices: ...)" diagnostic, so every registry
-/// (schemes, scenarios, runtimes) speaks the same CLI language.
+/// common "unknown X 'y' (did you mean 'z'? choices: ...)" diagnostic,
+/// so every registry (schemes, scenarios, runtimes) speaks the same CLI
+/// language.
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,12 +26,57 @@ inline std::string join_names(const std::vector<std::string>& names) {
   return out;
 }
 
-/// "unknown scheme 'x' (choices: a|b|c)".
+/// Levenshtein distance (insert/delete/substitute, unit costs) between
+/// `a` and `b`. O(|a|·|b|) time, O(|b|) space — name-sized inputs only.
+inline std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];  // dist(a[0..i-1), b[0..j-1))
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[b.size()];
+}
+
+/// The registered name closest to `name` in edit distance, when that
+/// distance is small enough to be a plausible typo (<= max(1, |name|/3));
+/// "" when no choice qualifies. Ties go to registration order.
+inline std::string nearest_name(std::string_view name,
+                                const std::vector<std::string>& choices) {
+  const std::size_t threshold = std::max<std::size_t>(1, name.size() / 3);
+  std::string best;
+  std::size_t best_distance = threshold + 1;
+  for (const auto& choice : choices) {
+    const std::size_t distance = edit_distance(name, choice);
+    if (distance < best_distance) {
+      best = choice;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+/// "unknown scheme 'x' (did you mean 'y'? choices: a|b|c)" — the
+/// did-you-mean clause appears only when a registered name is a
+/// plausible-typo distance away.
 inline std::string unknown_name_message(
     std::string_view kind, std::string_view name,
     const std::vector<std::string>& choices) {
-  return "unknown " + std::string(kind) + " '" + std::string(name) +
-         "' (choices: " + join_names(choices) + ")";
+  std::string message =
+      "unknown " + std::string(kind) + " '" + std::string(name) + "' (";
+  const std::string suggestion = nearest_name(name, choices);
+  if (!suggestion.empty()) {
+    message += "did you mean '" + suggestion + "'? ";
+  }
+  return message + "choices: " + join_names(choices) + ")";
 }
 
 }  // namespace coupon

@@ -71,6 +71,16 @@ TEST(SchemeRegistry, UnknownNameDiagnosticListsValidChoices) {
   }
 }
 
+TEST(SchemeRegistry, UnknownNameDiagnosticSuggestsNearestScheme) {
+  const std::string message =
+      SchemeRegistry::instance().unknown_message("bfc");
+  EXPECT_NE(message.find("did you mean 'bcc'?"), std::string::npos)
+      << message;
+  // A name far from every registered scheme gets no suggestion.
+  const std::string far = SchemeRegistry::instance().unknown_message("zzzzz");
+  EXPECT_EQ(far.find("did you mean"), std::string::npos) << far;
+}
+
 TEST(SchemeRegistry, DuplicateNamesAndAliasesRejected) {
   auto& registry = SchemeRegistry::instance();
   SchemeEntry entry;

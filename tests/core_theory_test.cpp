@@ -191,6 +191,31 @@ TEST(ExpectedMaxShiftedExponential, MatchesMonteCarlo) {
   EXPECT_NEAR(mc.mean(), analytic, 5.0 * mc.sem());
 }
 
+TEST(ExpectedMaxPareto, MatchesMonteCarloAndGrowsPolynomially) {
+  stats::Rng rng(11);
+  const double scale = 0.5, alpha = 3.0;
+  const std::size_t n = 20;
+  const double analytic = expected_max_pareto(scale, alpha, n);
+
+  const stats::Pareto dist{scale, alpha};
+  stats::OnlineStats mc;
+  for (int trial = 0; trial < 40000; ++trial) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      worst = std::max(worst, dist.sample(rng));
+    }
+    mc.add(worst);
+  }
+  EXPECT_NEAR(mc.mean(), analytic, 5.0 * mc.sem());
+
+  // Polynomial growth: E[max of n] ~ n^{1/alpha}, so quadrupling n scales
+  // the max by ~4^{1/3} — far faster than the H_n increment of Eq. 15.
+  const double ratio =
+      expected_max_pareto(scale, alpha, 4 * n) / analytic;
+  EXPECT_NEAR(ratio, std::pow(4.0, 1.0 / alpha), 0.02);
+  EXPECT_THROW(expected_max_pareto(scale, 1.0, n), coupon::AssertionError);
+}
+
 
 TEST(CouponCollector, VarianceMatchesMonteCarlo) {
   stats::Rng rng(8);

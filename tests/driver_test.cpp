@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -14,6 +16,13 @@ namespace driver = coupon::driver;
 
 TEST(ScenarioRegistry, EveryListedScenarioIsConstructible) {
   for (const auto& name : driver::scenario_names()) {
+    const auto* entry = driver::ScenarioRegistry::instance().find(name);
+    ASSERT_NE(entry, nullptr) << name;
+    if (!entry->builder) {
+      // Parameterized-only entries (trace:<path>) need an argument.
+      EXPECT_FALSE(driver::make_scenario(name, 40).has_value()) << name;
+      continue;
+    }
     const auto scenario = driver::make_scenario(name, 40);
     ASSERT_TRUE(scenario.has_value()) << name;
     EXPECT_EQ(scenario->name, name);
@@ -50,6 +59,98 @@ TEST(ScenarioRegistry, DuplicateAndMalformedRegistrationsRejected) {
   EXPECT_THROW(registry.add(no_builder), std::invalid_argument);
 }
 
+TEST(ScenarioRegistry, UnknownNameDiagnosticSuggestsNearestScenario) {
+  const std::string message =
+      driver::ScenarioRegistry::instance().unknown_message("shifted_exq");
+  EXPECT_NE(message.find("did you mean 'shifted_exp'?"), std::string::npos)
+      << message;
+  const std::string far =
+      driver::ScenarioRegistry::instance().unknown_message("qqqqqqqq");
+  EXPECT_EQ(far.find("did you mean"), std::string::npos) << far;
+}
+
+TEST(ScenarioRegistry, LatencyModelScenariosBuildTheirModels) {
+  // Each new-model scenario's cluster carries a latency_model factory
+  // producing the advertised model type.
+  const struct {
+    const char* scenario;
+    const char* model;
+  } expectations[] = {{"heavy_tail", "pareto"},
+                      {"weibull", "weibull"},
+                      {"bursty", "bimodal"},
+                      {"markov", "markov"}};
+  for (const auto& expected : expectations) {
+    const auto scenario =
+        driver::ScenarioRegistry::instance().build(expected.scenario, 16);
+    EXPECT_TRUE(scenario.sim_only) << expected.scenario;
+    ASSERT_TRUE(static_cast<bool>(scenario.cluster.latency_model))
+        << expected.scenario;
+    const auto model =
+        coupon::simulate::make_latency_model(scenario.cluster, 16);
+    EXPECT_EQ(model->name(), expected.model) << expected.scenario;
+  }
+}
+
+TEST(ScenarioRegistry, LatencyModelScenariosRunEndToEnd) {
+  for (const char* scenario : {"heavy_tail", "weibull", "bursty", "markov"}) {
+    driver::ExperimentConfig config;
+    config.scenario = scenario;
+    config.num_workers = 12;
+    config.num_units = 12;
+    config.load = 3;
+    config.iterations = 6;
+    const auto record = driver::run_experiment(config);
+    EXPECT_EQ(record.scenario, scenario);
+    EXPECT_EQ(record.trace.size(), 6u) << scenario;
+    EXPECT_GT(record.total_time, 0.0) << scenario;
+    EXPECT_EQ(record.failures, 0u) << scenario;
+  }
+}
+
+TEST(ScenarioRegistry, ParameterizedTraceScenarioResolvesAndRuns) {
+  auto& registry = driver::ScenarioRegistry::instance();
+  // Bare selection of a parameterized entry: resolvable? no; build throws
+  // with the usage hint instead of "unknown".
+  EXPECT_EQ(registry.resolve("trace"), nullptr);
+  try {
+    registry.build("trace", 4);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("trace:<arg>"), std::string::npos)
+        << e.what();
+  }
+  // An argument on a non-parameterized scenario stays unknown.
+  EXPECT_EQ(registry.resolve("lossy:0.5"), nullptr);
+  EXPECT_THROW(registry.build("lossy:0.5", 4), std::invalid_argument);
+
+  // The real thing: write a trace, select it as trace:<path>, run it.
+  const std::string path = "driver_trace_scenario_test.csv";
+  {
+    std::ofstream out(path);
+    out << "0.05,0.01,0.01,0.01\n";
+  }
+  ASSERT_NE(registry.resolve("trace:" + path), nullptr);
+  driver::ExperimentConfig config;
+  config.scheme = "uncoded";
+  config.scenario = "trace:" + path;
+  config.num_workers = 4;
+  config.num_units = 4;
+  config.load = 1;
+  config.iterations = 3;
+  const auto record = driver::run_experiment(config);
+  EXPECT_EQ(record.scenario, "trace:" + path);
+  ASSERT_EQ(record.trace.size(), 3u);
+  for (const auto& it : record.trace) {
+    EXPECT_DOUBLE_EQ(it.compute_time, 0.05);  // the slowest trace column
+  }
+  std::remove(path.c_str());
+
+  // A missing trace file surfaces as a clear error at run time.
+  driver::ExperimentConfig missing = config;
+  missing.scenario = "trace:no_such_file.csv";
+  EXPECT_THROW(driver::run_experiment(missing), std::invalid_argument);
+}
+
 TEST(ScenarioRegistry, RegisteredScenarioIsRunnable) {
   // The open-registry contract: one add() call, no switch edits, and the
   // scenario is selectable by every driver entry point.
@@ -63,7 +164,8 @@ TEST(ScenarioRegistry, RegisteredScenarioIsRunnable) {
                         "shifted_exp", 0);
                     s.cluster.unit_transfer_seconds = 0.0;
                     return s;
-                  }});
+                  },
+                  .param_builder = {}});
   }
   driver::ExperimentConfig config;
   config.scenario = "test_instant_network";

@@ -104,6 +104,101 @@ TEST(ShiftedExponential, LoadScalesFloorAndTailLinearly) {
 }
 
 
+// --- Pareto (heavy-tail latency model) ----------------------------------------------
+
+TEST(Pareto, MomentsAreAnalytic) {
+  const Pareto d{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);               // scale*alpha/(alpha-1)
+  EXPECT_DOUBLE_EQ(d.variance(), 3.0);           // 4*3/(4*1)
+}
+
+TEST(Pareto, MomentsDivergeOutsideTheirShapeRange) {
+  EXPECT_THROW((Pareto{1.0, 1.0}.mean()), coupon::AssertionError);
+  EXPECT_THROW((Pareto{1.0, 2.0}.variance()), coupon::AssertionError);
+  EXPECT_NO_THROW((Pareto{1.0, 1.5}.mean()));  // mean finite, variance not
+}
+
+TEST(Pareto, CdfQuantileRoundTrip) {
+  const Pareto d{0.5, 1.5};
+  for (double p : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(Pareto, CdfZeroAtOrBelowScale) {
+  const Pareto d{2.0, 1.5};
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_GT(d.cdf(2.01), 0.0);
+}
+
+TEST(Pareto, SampleMomentsMatch) {
+  const Pareto d{1.0, 4.0};  // mean 4/3, variance 4/(9*2) = 0.2222
+  Rng rng(23);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, d.scale);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), d.mean(), 0.01);
+  EXPECT_NEAR(s.variance(), d.variance(), 0.05);
+}
+
+TEST(Pareto, SamplesPassAKsTest) {
+  const Pareto d{1e-3, 1.5};
+  Rng rng(29);
+  std::vector<double> samples(4000);
+  for (auto& x : samples) {
+    x = d.sample(rng);
+  }
+  const double ks = ks_distance(samples, [&d](double t) { return d.cdf(t); });
+  EXPECT_LT(ks, 0.025);
+}
+
+// --- Weibull (stretched-exponential latency model) ----------------------------------
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w{1.0, 0.25};
+  const Exponential e{4.0};
+  for (double t : {0.0, 0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(w.cdf(t), e.cdf(t), 1e-12);
+  }
+  EXPECT_NEAR(w.mean(), e.mean(), 1e-12);
+  EXPECT_NEAR(w.variance(), e.variance(), 1e-9);
+}
+
+TEST(Weibull, CdfQuantileRoundTrip) {
+  const Weibull d{0.7, 2.0};
+  for (double p : {0.0, 0.25, 0.5, 0.75, 0.999}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(Weibull, SampleMomentsMatchGammaClosedForms) {
+  const Weibull d{1.5, 0.02};
+  Rng rng(31);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 0.0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), d.mean(), 2e-4);
+  EXPECT_NEAR(s.variance(), d.variance(), 2e-5);
+}
+
+TEST(Weibull, SamplesPassAKsTest) {
+  const Weibull d{0.7, 1.0};
+  Rng rng(37);
+  std::vector<double> samples(4000);
+  for (auto& x : samples) {
+    x = d.sample(rng);
+  }
+  const double ks = ks_distance(samples, [&d](double t) { return d.cdf(t); });
+  EXPECT_LT(ks, 0.025);
+}
+
 // --- distributional goodness of fit -------------------------------------------------
 
 TEST(KsDistance, SamplesMatchTheirOwnCdf) {

@@ -315,6 +315,52 @@ TEST(WallTimer, MeasuresNonNegativeMonotonicTime) {
   EXPECT_GE(timer.millis(), 0.0);
 }
 
+// --- registry name diagnostics ----------------------------------------------
+
+TEST(EditDistance, BasicProperties) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("bcc", "bfc"), 1u);       // substitution
+  EXPECT_EQ(edit_distance("cr", "cri"), 1u);        // insertion
+  EXPECT_EQ(edit_distance("uncoded", "uncode"), 1u);  // deletion
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  // Symmetry.
+  EXPECT_EQ(edit_distance("heavy_tail", "heavytail"),
+            edit_distance("heavytail", "heavy_tail"));
+}
+
+TEST(NearestName, SuggestsOnlyPlausibleTypos) {
+  const std::vector<std::string> choices = {"uncoded", "fr", "cr", "bcc",
+                                            "simple_random"};
+  EXPECT_EQ(nearest_name("bfc", choices), "bcc");
+  EXPECT_EQ(nearest_name("uncodedd", choices), "uncoded");
+  EXPECT_EQ(nearest_name("simple_randm", choices), "simple_random");
+  // Too far from everything: no suggestion.
+  EXPECT_EQ(nearest_name("zzz", choices), "");
+  EXPECT_EQ(nearest_name("mpi", choices), "");
+  // Ties resolve to registration order.
+  EXPECT_EQ(nearest_name("br", {"fr", "cr"}), "fr");
+}
+
+TEST(UnknownNameMessage, IncludesDidYouMeanWhenClose) {
+  const std::vector<std::string> choices = {"shifted_exp", "hetero",
+                                            "lossy"};
+  const std::string close =
+      unknown_name_message("scenario", "shifted_exq", choices);
+  EXPECT_NE(close.find("unknown scenario 'shifted_exq'"),
+            std::string::npos);
+  EXPECT_NE(close.find("did you mean 'shifted_exp'?"), std::string::npos);
+  EXPECT_NE(close.find("choices: shifted_exp|hetero|lossy"),
+            std::string::npos);
+
+  const std::string far =
+      unknown_name_message("scenario", "qqqqqq", choices);
+  EXPECT_EQ(far.find("did you mean"), std::string::npos);
+  EXPECT_NE(far.find("choices:"), std::string::npos);
+}
+
 // --- logging -----------------------------------------------------------------
 
 TEST(Logger, LevelFiltering) {

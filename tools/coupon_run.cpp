@@ -101,7 +101,11 @@ int list_registries() {
   const auto& scenarios = coupon::driver::ScenarioRegistry::instance();
   for (const auto& name : scenarios.names()) {
     const auto* entry = scenarios.find(name);
-    std::printf("  %-14s%s\n      %s\n", entry->name.c_str(),
+    // Parameterized entries are selected as "name:<arg>".
+    const std::string spelling =
+        entry->param_builder && !entry->builder ? entry->name + ":<arg>"
+                                                : entry->name;
+    std::printf("  %-14s%s\n      %s\n", spelling.c_str(),
                 entry->sim_only ? " [sim only]" : "",
                 entry->description.c_str());
   }
