@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   plan.base.load = base.load;
   plan.base.seed = base.seed;
   plan.base.iterations = iterations;
+  plan.base.record_trace = false;  // summary table only
   plan.schemes = {"uncoded", "cr", "fr", "bcc"};
 
   const auto records = coupon::driver::run_sweep(plan);

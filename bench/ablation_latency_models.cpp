@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   plan.base.seed = base.seed;
   plan.base.iterations =
       static_cast<std::size_t>(flags.get_int("iterations"));
+  plan.base.record_trace = false;  // summary table only
   plan.schemes = {"uncoded", "cr", "fr", "bcc"};
   plan.scenarios = {"shifted_exp", "heavy_tail", "weibull", "bursty",
                     "markov"};

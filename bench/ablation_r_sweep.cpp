@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
     coupon::driver::SweepPlan plan;
     plan.base = coupon::driver::config_from_sim_scenario(base);
     plan.base.iterations = iterations;
+    plan.base.record_trace = false;  // summary table only
     plan.schemes = {"bcc", "cr"};
     for (std::size_t r : {2u, 5u, 10u, 20u, 25u, 50u}) {
       if (r <= base.num_units) {

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     plan.base = coupon::driver::config_from_sim_scenario(scenario);
     plan.base.iterations =
         static_cast<std::size_t>(flags.get_int("iterations"));
+    plan.base.record_trace = false;  // bar-chart summary only
     plan.schemes = {"uncoded", "cr", "bcc"};
 
     const auto records = coupon::driver::run_sweep(plan);

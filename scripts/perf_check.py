@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate simulator throughput against the committed baseline.
+
+Usage:
+    perf_check.py BASELINE.json CURRENT.json [--max-slowdown 2.0]
+
+Both files are bench_perf_sim JSON outputs. Cells are matched on
+(scheme, workers, units, load) — iteration counts may differ (quick mode
+runs the same grid with ~10x fewer iterations; iters/sec is comparable
+because the simulator is in steady state either way). The check fails
+when any matched cell's iters_per_sec drops below baseline/max-slowdown.
+
+The threshold is deliberately generous (default 2x): CI runners are
+noisy, differently-provisioned machines than wherever BENCH_sim.json was
+recorded. The gate exists to catch order-of-magnitude regressions (an
+accidental per-iteration allocation, a quadratic scan), not 10%% drift.
+If every cell fails with a similar ratio and the diff touched no
+simulator code, suspect the runner class, not the code: recapture
+BENCH_sim.json from the CI job's uploaded perf-quick artifact (see
+README "Simulator throughput baseline").
+
+Refreshing the baseline after an intentional change:
+    build/bench/bench_perf_sim --reps 5 --out BENCH_sim.json
+and commit the result, saying so in the commit message.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("benchmark") != "perf_sim":
+        sys.exit(f"{path}: not a perf_sim result file")
+    return {
+        (r["scheme"], r["workers"], r["units"], r["load"]): r["iters_per_sec"]
+        for r in doc["results"]
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-slowdown", type=float, default=2.0,
+                        help="fail when baseline/current exceeds this")
+    args = parser.parse_args()
+
+    baseline = load_cells(args.baseline)
+    current = load_cells(args.current)
+    matched = sorted(set(baseline) & set(current))
+    if not matched:
+        sys.exit("no (scheme, workers, units, load) cells in common")
+
+    failures = []
+    for key in matched:
+        ratio = baseline[key] / current[key]
+        scheme, n, m, r = key
+        status = "FAIL" if ratio > args.max_slowdown else "ok"
+        print(f"{status:4s} {scheme:12s} n={n:<4d} m={m:<4d} r={r:<3d} "
+              f"baseline={baseline[key]:>10.0f} current={current[key]:>10.0f} "
+              f"iters/sec  (x{ratio:.2f} slowdown)")
+        if ratio > args.max_slowdown:
+            failures.append(key)
+
+    if failures:
+        sys.exit(f"{len(failures)}/{len(matched)} cells slower than "
+                 f"{args.max_slowdown}x the committed baseline "
+                 f"(see BENCH_sim.json; refresh it if the change is "
+                 f"intentional)")
+    print(f"perf OK: {len(matched)} cells within {args.max_slowdown}x "
+          f"of baseline")
+
+
+if __name__ == "__main__":
+    main()

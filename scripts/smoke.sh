@@ -61,6 +61,9 @@ run "${BUILD_DIR}/bench/bench_coupon_tail" --trials 500
 run "${BUILD_DIR}/bench/bench_fig2_tradeoff" --trials 50
 run "${BUILD_DIR}/bench/bench_fig4_runtime" --iterations 5
 run "${BUILD_DIR}/bench/bench_fig5_heterogeneous" --trials 50 --refine_steps 10
+run "${BUILD_DIR}/bench/bench_perf_sim" --quick --reps 1 \
+    --out "${TMP_DIR}/perf.json"
+test -s "${TMP_DIR}/perf.json"
 run "${BUILD_DIR}/bench/bench_table1_scenario1" --iterations 5 \
     --csv "${TMP_DIR}/table1.csv"
 test -s "${TMP_DIR}/table1.csv"

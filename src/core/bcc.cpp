@@ -77,6 +77,15 @@ class BccCollector final : public Collector {
   }
 
  private:
+  void do_reset() override {
+    for (auto& slot : slots_) {
+      slot.clear();
+    }
+    std::fill(seen_.begin(), seen_.end(), false);
+    covered_ = 0;
+    ready_ = false;
+  }
+
   std::vector<std::size_t> batch_units_;
   std::vector<std::vector<double>> slots_;
   std::vector<bool> seen_;

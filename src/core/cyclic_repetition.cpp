@@ -68,6 +68,12 @@ class CrCollector final : public Collector {
   }
 
  private:
+  void do_reset() override {
+    workers_.clear();
+    payloads_.clear();
+    ready_ = false;
+  }
+
   const CyclicRepetitionScheme& scheme_;
   std::size_t needed_;
   bool ready_ = false;

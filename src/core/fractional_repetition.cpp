@@ -1,5 +1,7 @@
 #include "core/fractional_repetition.hpp"
 
+#include <algorithm>
+
 #include "linalg/vector_ops.hpp"
 #include "util/assert.hpp"
 
@@ -67,6 +69,15 @@ class FrCollector final : public Collector {
   }
 
  private:
+  void do_reset() override {
+    for (auto& slot : slots_) {
+      slot.clear();
+    }
+    std::fill(seen_.begin(), seen_.end(), false);
+    covered_ = 0;
+    ready_ = false;
+  }
+
   std::size_t block_units_;
   std::vector<std::vector<double>> slots_;
   std::vector<bool> seen_;

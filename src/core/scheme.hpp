@@ -36,10 +36,25 @@ namespace coupon::core {
 /// `ready()` flips to true (`offer` after ready() is allowed and ignored).
 /// `workers_heard()` is |W| (recovery-threshold accounting, Definition 2)
 /// and `units_received()` the aggregated normalized message size
-/// (communication load, Definition 3).
+/// (communication load, Definition 3). Between iterations, `reset()`
+/// returns the collector to its freshly-constructed state so one instance
+/// can serve a whole run — the simulator's steady-state loop relies on
+/// this instead of `Scheme::make_collector()` per iteration.
 class Collector {
  public:
   virtual ~Collector() = default;
+
+  /// Returns the collector to the state `Scheme::make_collector()` built
+  /// it in: no workers heard, no units received, not ready, no kept
+  /// messages. A reset-and-reused collector must behave identically to a
+  /// fresh one under any offer sequence. Contract for implementers
+  /// (`do_reset`): preserve allocated capacity — reset runs once per
+  /// simulated iteration and must not allocate.
+  void reset() {
+    workers_heard_ = 0;
+    units_received_ = 0.0;
+    do_reset();
+  }
 
   /// Offers the message of `worker`. `meta`/`payload` follow the owning
   /// scheme's encoding; `payload` may be empty when only combinatorial
@@ -82,6 +97,10 @@ class Collector {
     ++workers_heard_;
     units_received_ += units;
   }
+
+  /// Scheme-specific part of `reset()`: drop kept messages and coverage
+  /// state, keeping allocated buffers (clear vectors, don't shrink them).
+  virtual void do_reset() = 0;
 
  private:
   std::size_t workers_heard_ = 0;

@@ -1,5 +1,7 @@
 #include "core/simple_random.hpp"
 
+#include <algorithm>
+
 #include "linalg/vector_ops.hpp"
 #include "util/assert.hpp"
 
@@ -81,6 +83,15 @@ class SimpleRandomCollector final : public Collector {
   }
 
  private:
+  void do_reset() override {
+    for (auto& slot : slots_) {
+      slot.clear();
+    }
+    std::fill(covered_.begin(), covered_.end(), false);
+    num_covered_ = 0;
+    ready_ = false;
+  }
+
   std::vector<std::vector<double>> slots_;
   std::vector<bool> covered_;
   std::size_t num_covered_ = 0;

@@ -1,5 +1,7 @@
 #include "core/uncoded.hpp"
 
+#include <algorithm>
+
 #include "linalg/vector_ops.hpp"
 #include "util/assert.hpp"
 
@@ -66,6 +68,15 @@ class UncodedCollector final : public Collector {
   }
 
  private:
+  void do_reset() override {
+    for (auto& slot : slots_) {
+      slot.clear();
+    }
+    std::fill(heard_.begin(), heard_.end(), false);
+    count_ = 0;
+    ready_ = false;
+  }
+
   std::vector<std::size_t> worker_units_;
   std::vector<std::vector<double>> slots_;
   std::vector<bool> heard_;

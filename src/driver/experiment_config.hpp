@@ -27,6 +27,15 @@ struct ExperimentConfig {
   std::size_t iterations = 100;
   std::uint64_t seed = 1;
 
+  /// Simulated runtime only: record the per-iteration latency trace into
+  /// `RunRecord::trace`. Defaults to true so single runs keep feeding the
+  /// trace-CSV/JSONL renderers; summary-only consumers (sweeps streaming
+  /// to summary sinks — see `coupon_run --sweep` and the table/figure
+  /// benches) turn it off so `simulate_run` never materializes
+  /// per-iteration storage. Ignored by the threaded runtime, whose
+  /// records never carry a trace.
+  bool record_trace = true;
+
   /// When set, replaces the named scenario's simulator cluster model —
   /// the carrier for callers holding a customized simulate cluster (e.g.
   /// `config_from_sim_scenario`, the ablation benches' drop/bandwidth

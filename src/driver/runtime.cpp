@@ -67,10 +67,12 @@ RunRecord SimulatedRuntime::run(const ExperimentConfig& config) const {
   // config_from_sim_scenario) wins over the named scenario's.
   const simulate::ClusterConfig& cluster =
       config.cluster_override ? *config.cluster_override : scenario.cluster;
-  const simulate::RunReport run =
-      simulate_run(*scheme, cluster, config.iterations, rng);
+  simulate::RunOptions options;
+  options.iterations = config.iterations;
+  options.record_trace = config.record_trace;
+  simulate::RunReport run = simulate_run(*scheme, cluster, options, rng);
 
-  record.trace = run.iterations;
+  record.trace = std::move(run.iterations);
   record.recovery_threshold = run.workers_heard.mean();
   record.comm_time = run.total_comm_time;
   record.compute_time = run.total_compute_time;

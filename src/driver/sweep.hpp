@@ -38,6 +38,11 @@ namespace coupon::driver {
 /// CR/FR placement constraint want.
 struct SweepPlan {
   /// Template for all non-swept fields (runtime, threaded knobs, ...).
+  /// Note `base.record_trace`: sweeps that only stream to summary sinks
+  /// (CsvSummarySink / JsonlSink without include_trace) should set it to
+  /// false so simulated cells never materialize per-iteration traces —
+  /// that is the difference between the sweep engine scaling with the
+  /// iteration *count* and scaling with the trace *storage*.
   ExperimentConfig base;
 
   std::vector<std::string> schemes;      ///< registry names; {} = {base.scheme}

@@ -50,6 +50,107 @@ std::unique_ptr<LatencyModel> make_latency_model(const ClusterConfig& config,
                                            config.worker_overrides);
 }
 
+IterationKernel::IterationKernel(const core::Scheme& scheme,
+                                 const ClusterConfig& config)
+    : scheme_(scheme),
+      config_(config),
+      collector_(scheme.make_collector()) {
+  const std::size_t n = scheme.num_workers();
+  loads_.resize(n);
+  service_seconds_.resize(n);
+  metas_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loads_[i] = static_cast<double>(scheme.placement().worker(i).size());
+    service_seconds_[i] =
+        scheme.message_units(i) * config.unit_transfer_seconds;
+    metas_[i] = scheme.message_meta(i);
+  }
+  arrivals_.reserve(n);
+}
+
+IterationReport IterationKernel::run(LatencyModel& model,
+                                     std::size_t iteration, stats::Rng& rng) {
+  const std::size_t n = scheme_.num_workers();
+  collector_->reset();
+  arrivals_.clear();
+
+  // Stateful models advance here, before any drop/latency draw.
+  model.begin_iteration(iteration, rng);
+
+  // Draw phase — one drop Bernoulli then (for loaded workers) one model
+  // sample per worker, in worker order: the exact RNG consumption order
+  // of the historical event loop's scheduling pass.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config_.drop_probability > 0.0 &&
+        rng.bernoulli(config_.drop_probability)) {
+      continue;  // message lost: this worker never reports
+    }
+    double compute = 0.0;
+    if (loads_[i] > 0.0) {
+      compute = model.sample_compute_seconds({i, iteration, loads_[i]}, rng);
+      COUPON_ASSERT_MSG(compute >= 0.0 && std::isfinite(compute),
+                        "latency model '" << model.name() << "' drew "
+                                          << compute << " for worker " << i);
+    }
+    Arrival arrival;
+    arrival.time = config_.broadcast_seconds + compute;
+    arrival.compute = compute;
+    arrival.worker = i;
+    arrivals_.push_back(arrival);
+  }
+
+  // Order phase — the DES heap executed compute completions in
+  // (time, scheduling-seq) order, and completions were scheduled in
+  // worker order, so (time, worker) reproduces it exactly. std::sort
+  // (not stable_sort, which allocates) is safe: keys are unique.
+  std::sort(arrivals_.begin(), arrivals_.end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.time != b.time) {
+                return a.time < b.time;
+              }
+              return a.worker < b.worker;
+            });
+
+  // Ingress phase — the serialized master link is a FIFO: each arrival
+  // waits for the link, occupies it for its service time, and the fully
+  // received message is offered to the collector. Completion order equals
+  // arrival-processing order (the link frees monotonically), so a linear
+  // scan replaces the event heap. The scan stops at recovery — exactly
+  // where run_until() stopped the DES.
+  IterationReport report;
+  report.recovered = false;
+  double ingress_free_at = 0.0;
+  double completion_time = 0.0;
+  double max_compute = 0.0;
+  bool any_received = false;
+  for (const Arrival& arrival : arrivals_) {
+    const double start = std::max(arrival.time, ingress_free_at);
+    ingress_free_at = start + service_seconds_[arrival.worker];
+    collector_->offer(arrival.worker, metas_[arrival.worker], {});
+    max_compute = std::max(max_compute, arrival.compute);
+    any_received = true;
+    if (collector_->ready()) {
+      report.recovered = true;
+      completion_time = ingress_free_at;
+      break;
+    }
+  }
+  if (!report.recovered) {
+    // All messages consumed without recovery (e.g. BCC coverage failure,
+    // or every worker dropped). The DES drained fully: its clock ended on
+    // the last ingress completion — the final busy-until — or stayed 0
+    // when nothing was ever scheduled.
+    completion_time = any_received ? ingress_free_at : 0.0;
+  }
+
+  report.total_time = completion_time;
+  report.workers_heard = collector_->workers_heard();
+  report.units_received = collector_->units_received();
+  report.compute_time = max_compute;
+  report.comm_time = report.total_time - report.compute_time;
+  return report;
+}
+
 IterationReport simulate_iteration(const core::Scheme& scheme,
                                    const ClusterConfig& config,
                                    stats::Rng& rng) {
@@ -61,96 +162,21 @@ IterationReport simulate_iteration(const core::Scheme& scheme,
                                    const ClusterConfig& config,
                                    LatencyModel& model, std::size_t iteration,
                                    stats::Rng& rng) {
-  // No validate_cluster_config here: both entry points that reach this
-  // overload (simulate_run and the model-building simulate_iteration)
-  // already validated via make_latency_model, and the config cannot
-  // change between iterations — re-walking worker_overrides every
-  // iteration would be pure overhead in the run loop.
-  const std::size_t n = scheme.num_workers();
-  auto collector = scheme.make_collector();
-
-  EventQueue queue;
-  IterationReport report;
-  report.recovered = false;
-
-  // Master ingress: serialized FIFO resource.
-  double ingress_free_at = 0.0;
-  // Compute durations of workers whose messages have been fully received.
-  std::vector<double> received_compute;
-  received_compute.reserve(n);
-  double completion_time = 0.0;
-
-  // Stateful models advance here, before any drop/latency draw.
-  model.begin_iteration(iteration, rng);
-
-  // Schedule every worker's compute completion.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (config.drop_probability > 0.0 &&
-        rng.bernoulli(config.drop_probability)) {
-      continue;  // message lost: this worker never reports
-    }
-    const auto load =
-        static_cast<double>(scheme.placement().worker(i).size());
-    double compute = 0.0;
-    if (load > 0.0) {
-      compute = model.sample_compute_seconds({i, iteration, load}, rng);
-      COUPON_ASSERT_MSG(compute >= 0.0 && std::isfinite(compute),
-                        "latency model '" << model.name() << "' drew "
-                                          << compute << " for worker " << i);
-    }
-    const double finish = config.broadcast_seconds + compute;
-    queue.schedule(finish, [&, i, compute] {
-      if (collector->ready()) {
-        return;  // iteration already complete; message is ignored
-      }
-      // Transfer: wait for the ingress link, then occupy it.
-      const double service =
-          scheme.message_units(i) * config.unit_transfer_seconds;
-      const double start = std::max(queue.now(), ingress_free_at);
-      ingress_free_at = start + service;
-      queue.schedule(ingress_free_at, [&, i, compute] {
-        if (collector->ready()) {
-          return;
-        }
-        const auto meta = scheme.message_meta(i);
-        collector->offer(i, meta, {});
-        received_compute.push_back(compute);
-        if (collector->ready()) {
-          report.recovered = true;
-          completion_time = queue.now();
-        }
-      });
-    });
-  }
-
-  queue.run_until([&] { return report.recovered; });
-
-  if (!report.recovered) {
-    // All n messages consumed without recovery (e.g. BCC coverage
-    // failure). Report the full drain time; the caller counts it.
-    completion_time = queue.now();
-  }
-
-  report.total_time = completion_time;
-  report.workers_heard = collector->workers_heard();
-  report.units_received = collector->units_received();
-  report.compute_time =
-      received_compute.empty()
-          ? 0.0
-          : *std::max_element(received_compute.begin(),
-                              received_compute.end());
-  report.comm_time = report.total_time - report.compute_time;
-  return report;
+  IterationKernel kernel(scheme, config);
+  return kernel.run(model, iteration, rng);
 }
 
 RunReport simulate_run(const core::Scheme& scheme,
-                       const ClusterConfig& config, std::size_t iterations,
+                       const ClusterConfig& config, const RunOptions& options,
                        stats::Rng& rng) {
   const auto model = make_latency_model(config, scheme.num_workers());
+  IterationKernel kernel(scheme, config);
   RunReport run;
-  run.iterations.reserve(iterations);
-  for (std::size_t t = 0; t < iterations; ++t) {
-    IterationReport it = simulate_iteration(scheme, config, *model, t, rng);
+  if (options.record_trace) {
+    run.iterations.reserve(options.iterations);
+  }
+  for (std::size_t t = 0; t < options.iterations; ++t) {
+    const IterationReport it = kernel.run(*model, t, rng);
     run.total_time += it.total_time;
     run.total_compute_time += it.compute_time;
     run.total_comm_time += it.comm_time;
@@ -159,9 +185,20 @@ RunReport simulate_run(const core::Scheme& scheme,
     if (!it.recovered) {
       ++run.failures;
     }
-    run.iterations.push_back(std::move(it));
+    if (options.record_trace) {
+      run.iterations.push_back(it);
+    }
   }
   return run;
+}
+
+RunReport simulate_run(const core::Scheme& scheme,
+                       const ClusterConfig& config, std::size_t iterations,
+                       stats::Rng& rng) {
+  RunOptions options;
+  options.iterations = iterations;
+  options.record_trace = true;
+  return simulate_run(scheme, config, options, rng);
 }
 
 }  // namespace coupon::simulate

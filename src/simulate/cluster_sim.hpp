@@ -1,8 +1,8 @@
 #pragma once
 
 /// \file cluster_sim.hpp
-/// Discrete-event model of one master + n workers running synchronous
-/// distributed GD — the EC2-testbed substitute (see DESIGN.md §2).
+/// Model of one master + n workers running synchronous distributed GD —
+/// the EC2-testbed substitute (see DESIGN.md §2).
 ///
 /// Per iteration:
 ///   1. The master broadcasts the model; every worker starts computing
@@ -27,6 +27,14 @@
 /// Per-iteration accounting mirrors the paper's: computation time is the
 /// maximum compute duration among workers whose messages were received
 /// before the iteration ended; communication time is the remainder.
+///
+/// Execution: iterations run on the allocation-free `IterationKernel`, a
+/// typed sort-based engine that draws compute times in the historical
+/// event-loop RNG order and resolves the serialized FIFO ingress by an
+/// arrival-sorted scan — provably trace-equivalent to the old
+/// `EventQueue`-based loop (equivalence argument in DESIGN.md §7, pinned
+/// byte-for-byte by tests/golden/sweep_2x2.jsonl) but with zero
+/// steady-state heap allocations per iteration.
 
 #include <cstddef>
 #include <memory>
@@ -97,6 +105,9 @@ struct IterationReport {
 
 /// Aggregates over a multi-iteration run.
 struct RunReport {
+  /// Per-iteration reports — populated only when the run was executed
+  /// with `RunOptions::record_trace` (the legacy iteration-count overload
+  /// of `simulate_run` records it for back-compat).
   std::vector<IterationReport> iterations;
   double total_time = 0.0;
   double total_compute_time = 0.0;
@@ -104,6 +115,62 @@ struct RunReport {
   stats::OnlineStats workers_heard;   ///< empirical K
   stats::OnlineStats units_received;  ///< empirical L
   std::size_t failures = 0;           ///< iterations without recovery
+};
+
+/// Options for `simulate_run`.
+struct RunOptions {
+  /// GD iterations to simulate.
+  std::size_t iterations = 100;
+  /// Opt-in per-iteration trace: when true, `RunReport::iterations` gets
+  /// one `IterationReport` per iteration. Off by default — summary-only
+  /// consumers (sweeps feeding summary CSV/JSONL sinks) should not pay
+  /// for materializing traces they never render.
+  bool record_trace = false;
+};
+
+/// Allocation-free iteration engine for one (scheme, cluster) run
+/// (DESIGN.md §7). Construction precomputes what the old event loop
+/// recomputed per iteration — per-worker placement loads, message service
+/// times (`message_units * unit_transfer_seconds`), message metadata, and
+/// one reusable `Collector` — and each `run` call then executes a full GD
+/// iteration with zero heap allocations in steady state:
+///
+///   1. drops and compute times are drawn in the exact per-worker RNG
+///      order of the historical event loop;
+///   2. arrivals are sorted by (finish time, worker index) — identical to
+///      the DES heap's (time, scheduling-seq) order, because compute
+///      completions were scheduled in worker order;
+///   3. the master's serialized FIFO ingress is resolved by a linear scan
+///      (`busy-until = max(arrival, busy-until) + service`), offering each
+///      message to the collector in completion order and stopping at
+///      recovery — exactly when the old loop's run_until stopped.
+///
+/// The scheme and config must outlive the kernel; the config must already
+/// have been validated (`make_latency_model` validates).
+class IterationKernel {
+ public:
+  IterationKernel(const core::Scheme& scheme, const ClusterConfig& config);
+
+  /// Simulates GD iteration `iteration`, drawing compute times from
+  /// `model` (calls `model.begin_iteration` first) and all randomness
+  /// from `rng`. Bit-identical to the historical DES event loop.
+  IterationReport run(LatencyModel& model, std::size_t iteration,
+                      stats::Rng& rng);
+
+ private:
+  struct Arrival {
+    double time = 0.0;     ///< broadcast_seconds + compute
+    double compute = 0.0;  ///< the model draw (0 for unloaded workers)
+    std::size_t worker = 0;
+  };
+
+  const core::Scheme& scheme_;
+  const ClusterConfig& config_;
+  std::unique_ptr<core::Collector> collector_;  ///< reset() per iteration
+  std::vector<double> loads_;            ///< |G_i| per worker
+  std::vector<double> service_seconds_;  ///< ingress occupancy per worker
+  std::vector<std::vector<std::int64_t>> metas_;  ///< message_meta(i)
+  std::vector<Arrival> arrivals_;  ///< reused scratch, capacity n
 };
 
 /// Simulates one iteration of distributed GD for `scheme` on a cluster
@@ -116,18 +183,26 @@ IterationReport simulate_iteration(const core::Scheme& scheme,
                                    stats::Rng& rng);
 
 /// As above, but samples compute times from the caller's `model` for GD
-/// iteration `iteration` (calls `model.begin_iteration` first). This is
-/// the primitive `simulate_run` loops over; it assumes `config` was
-/// already validated (use `make_latency_model`, which validates, to
-/// obtain the model).
+/// iteration `iteration` (calls `model.begin_iteration` first). One-shot
+/// convenience over a throwaway `IterationKernel`; it assumes `config`
+/// was already validated (use `make_latency_model`, which validates, to
+/// obtain the model). Loops should hold their own kernel instead.
 IterationReport simulate_iteration(const core::Scheme& scheme,
                                    const ClusterConfig& config,
                                    LatencyModel& model, std::size_t iteration,
                                    stats::Rng& rng);
 
-/// Simulates `iterations` iterations against one latency-model instance
-/// (independent draws for memoryless models; correlated across iterations
-/// for Markov/trace models) and aggregates.
+/// Simulates `options.iterations` iterations against one latency-model
+/// instance (independent draws for memoryless models; correlated across
+/// iterations for Markov/trace models) and one reused `IterationKernel`
+/// — the steady-state loop performs no heap allocations — then
+/// aggregates. Records the per-iteration trace only when
+/// `options.record_trace` is set.
+RunReport simulate_run(const core::Scheme& scheme, const ClusterConfig& config,
+                       const RunOptions& options, stats::Rng& rng);
+
+/// Back-compat overload: `iterations` iterations WITH the per-iteration
+/// trace recorded (the historical behaviour of this signature).
 RunReport simulate_run(const core::Scheme& scheme, const ClusterConfig& config,
                        std::size_t iterations, stats::Rng& rng);
 

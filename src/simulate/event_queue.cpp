@@ -1,5 +1,7 @@
 #include "simulate/event_queue.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace coupon::simulate {
@@ -7,17 +9,17 @@ namespace coupon::simulate {
 void EventQueue::schedule(double time, Callback cb) {
   COUPON_ASSERT_MSG(time >= now_, "cannot schedule into the past: "
                                       << time << " < " << now_);
-  heap_.push(Event{time, next_seq_++, std::move(cb)});
+  heap_.push_back(Event{time, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::run_next() {
   if (heap_.empty()) {
     return false;
   }
-  // priority_queue::top is const; the callback is moved out via a copy of
-  // the wrapper (std::function copy), then popped.
-  Event ev = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.time;
   ev.cb();
   return true;

@@ -7,18 +7,138 @@
 /// time order; ties break by scheduling order (FIFO), which keeps runs
 /// fully deterministic for a fixed seed. Callbacks may schedule further
 /// events (at or after the current time).
+///
+/// The iteration hot path of the cluster simulator no longer goes through
+/// this queue (it uses the arrival-sorted `IterationKernel`, see
+/// cluster_sim.hpp and DESIGN.md §7); the queue remains the
+/// general-purpose engine for irregular event graphs. Its callbacks are
+/// stored in a move-only small-buffer-optimized wrapper
+/// (`InplaceCallback`), so scheduling a lambda whose captures fit the
+/// inline buffer performs no heap allocation — `std::function`'s copy
+/// requirement and its allocation for non-trivial captures are gone.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "util/assert.hpp"
+
 namespace coupon::simulate {
+
+/// Move-only callable wrapper with a small-buffer optimization. Callables
+/// whose size fits `kInlineCapacity` (and that are nothrow-movable) are
+/// stored inline; larger ones fall back to one heap allocation. Unlike
+/// `std::function`, the wrapped callable never needs to be copyable, and
+/// typical simulator lambdas (a few captured references and scalars)
+/// never touch the heap.
+class InplaceCallback {
+ public:
+  /// Inline storage, sized for the event-loop lambdas of the simulator
+  /// (a handful of pointers/doubles) with headroom for user code.
+  static constexpr std::size_t kInlineCapacity = 56;
+
+  InplaceCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InplaceCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  InplaceCallback(InplaceCallback&& other) noexcept { take(other); }
+
+  InplaceCallback& operator=(InplaceCallback&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      take(other);
+    }
+    return *this;
+  }
+
+  InplaceCallback(const InplaceCallback&) = delete;
+  InplaceCallback& operator=(const InplaceCallback&) = delete;
+
+  ~InplaceCallback() { destroy(); }
+
+  /// Invokes the wrapped callable. Calling an empty (default-constructed
+  /// or moved-from) callback asserts loudly, matching the old
+  /// std::function Callback's bad_function_call instead of UB.
+  void operator()() {
+    COUPON_ASSERT_MSG(ops_ != nullptr, "invoking an empty InplaceCallback");
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  /// Type-erased operations; `relocate` move-constructs into `dest` and
+  /// destroys the source (the only move flavor a heap queue needs).
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*relocate)(void* self, void* dest);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*static_cast<Fn*>(self))(); },
+      [](void* self, void* dest) {
+        ::new (dest) Fn(std::move(*static_cast<Fn*>(self)));
+        static_cast<Fn*>(self)->~Fn();
+      },
+      [](void* self) { static_cast<Fn*>(self)->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**static_cast<Fn**>(self))(); },
+      [](void* self, void* dest) {
+        ::new (dest) Fn*(*static_cast<Fn**>(self));
+      },
+      [](void* self) { delete *static_cast<Fn**>(self); }};
+
+  void take(InplaceCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void destroy() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
 
 /// Deterministic virtual-time event loop.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceCallback;
 
   /// Schedules `cb` at absolute virtual time `time` (must be >= now()).
   void schedule(double time, Callback cb);
@@ -59,7 +179,11 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // A plain vector managed with std::push_heap/pop_heap rather than
+  // std::priority_queue: priority_queue::top() is const, which forces a
+  // *copy* of the event (and its callback) on every pop — incompatible
+  // with move-only callbacks and a needless allocation besides.
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
 };

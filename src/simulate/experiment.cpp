@@ -58,8 +58,13 @@ std::vector<SchemeRunRow> run_scenario(
     config.load = scenario.load;
     auto scheme = core::make_scheme(kind, config, rng);
 
+    // Summary-only harness: the rows below read aggregates, never the
+    // per-iteration trace, so run without recording one.
+    RunOptions options;
+    options.iterations = scenario.iterations;
+    options.record_trace = false;
     const RunReport run =
-        simulate_run(*scheme, scenario.cluster, scenario.iterations, rng);
+        simulate_run(*scheme, scenario.cluster, options, rng);
 
     SchemeRunRow row;
     row.kind = kind;

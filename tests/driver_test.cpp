@@ -284,6 +284,23 @@ driver::ExperimentConfig small_sim_config() {
 
 }  // namespace
 
+TEST(Driver, RecordTraceOffSkipsTheTraceButKeepsTheSummaryBitIdentical) {
+  // Summary-only consumers disable trace recording; nothing in the
+  // summary may change (storage is gated, the draw sequence is not).
+  auto config = small_sim_config();
+  const auto with_trace = driver::run_experiment(config);
+  config.record_trace = false;
+  const auto without_trace = driver::run_experiment(config);
+
+  EXPECT_EQ(with_trace.trace.size(), config.iterations);
+  EXPECT_TRUE(without_trace.trace.empty());
+
+  std::ostringstream a, b;
+  driver::CsvSummarySink(a).write(with_trace);
+  driver::CsvSummarySink(b).write(without_trace);
+  EXPECT_EQ(a.str(), b.str());
+}
+
 TEST(Driver, SimulatedRunEmitsOneTraceEntryPerIteration) {
   const auto config = small_sim_config();
   const auto record = driver::run_experiment(config);

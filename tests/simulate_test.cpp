@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <memory>
 #include <sstream>
 
 #include "core/core.hpp"
@@ -73,6 +75,35 @@ TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.run_next());
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, LargeCapturesFallBackToTheHeapAndStillRun) {
+  // InplaceCallback stores small lambdas inline; captures past the
+  // inline capacity take the heap path — behavior must be identical.
+  EventQueue q;
+  std::array<double, 32> big{};  // 256 bytes > kInlineCapacity
+  big[0] = 1.0;
+  big[31] = 2.0;
+  double sum = 0.0;
+  q.schedule(1.0, [big, &sum] { sum = big[0] + big[31]; });
+  static_assert(sizeof(big) > InplaceCallback::kInlineCapacity);
+  q.run_all();
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+}
+
+TEST(EventQueue, InvokingAnEmptyCallbackAssertsLoudly) {
+  EventQueue q;
+  q.schedule(1.0, InplaceCallback{});
+  EXPECT_THROW(q.run_all(), coupon::AssertionError);
+}
+
+TEST(EventQueue, MoveOnlyCallbacksAreAccepted) {
+  EventQueue q;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  q.schedule(1.0, [p = std::move(payload), &seen] { seen = *p + 1; });
+  q.run_all();
+  EXPECT_EQ(seen, 42);
 }
 
 // --- single iteration ---------------------------------------------------------------
@@ -164,6 +195,37 @@ TEST(SimulateIteration, DeterministicGivenSeed) {
 }
 
 // --- multi-iteration runs --------------------------------------------------------------
+
+TEST(SimulateRun, RecordTraceOffMatchesOnExceptForTheTrace) {
+  core::SchemeConfig config{10, 10, 3, false};
+  stats::Rng rng_a(21), rng_b(21);
+  auto scheme_a =
+      core::make_scheme(core::SchemeKind::kBcc, config, rng_a);
+  auto scheme_b =
+      core::make_scheme(core::SchemeKind::kBcc, config, rng_b);
+
+  RunOptions with_trace{/*iterations=*/15, /*record_trace=*/true};
+  RunOptions without_trace{/*iterations=*/15, /*record_trace=*/false};
+  const auto run_a = simulate_run(*scheme_a, test_cluster(), with_trace,
+                                  rng_a);
+  const auto run_b = simulate_run(*scheme_b, test_cluster(), without_trace,
+                                  rng_b);
+
+  EXPECT_EQ(run_a.iterations.size(), 15u);
+  EXPECT_TRUE(run_b.iterations.empty());
+  EXPECT_DOUBLE_EQ(run_a.total_time, run_b.total_time);
+  EXPECT_DOUBLE_EQ(run_a.total_compute_time, run_b.total_compute_time);
+  EXPECT_DOUBLE_EQ(run_a.workers_heard.mean(), run_b.workers_heard.mean());
+  EXPECT_EQ(run_a.failures, run_b.failures);
+}
+
+TEST(SimulateRun, LegacyIterationCountOverloadStillRecordsTheTrace) {
+  stats::Rng rng(22);
+  core::SchemeConfig config{8, 8, 2, false};
+  auto scheme = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  const auto run = simulate_run(*scheme, test_cluster(), 6, rng);
+  EXPECT_EQ(run.iterations.size(), 6u);
+}
 
 TEST(SimulateRun, AggregatesMatchPerIterationReports) {
   stats::Rng rng(6);

@@ -150,6 +150,9 @@ int run_sweep_mode(const CliFlags& flags,
                    const coupon::driver::ExperimentConfig& base) {
   coupon::driver::SweepPlan plan;
   plan.base = base;
+  // Sweep mode renders summary CSV + trace-less JSONL only: skip
+  // materializing per-iteration traces in every simulated cell.
+  plan.base.record_trace = false;
   plan.schemes = split_list(flags.get_string("schemes"));
   plan.scenarios = split_list(flags.get_string("scenarios"));
   if (!parse_size_list("workers_axis", flags.get_string("workers_axis"),
