@@ -16,10 +16,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  using coupon::core::SchemeKind;
-  const std::vector<SchemeKind> kinds = {SchemeKind::kUncoded,
-                                         SchemeKind::kCyclicRepetition,
-                                         SchemeKind::kBcc};
+  const std::vector<std::string> kinds = {"uncoded", "cr", "bcc"};
 
   auto base = coupon::simulate::ec2_scenario_one();
   base.iterations = static_cast<std::size_t>(flags.get_int("iterations"));

@@ -1,0 +1,175 @@
+// Convergence vs. (simulated) wall-clock — the paper's headline EC2
+// experiment, reproduced on the TrainingEngine's simulated provider:
+// time for distributed GD to reach a target training loss under
+// stragglers, for uncoded / CR / FR / BCC across latency-model
+// scenarios.
+//
+//   $ bench_fig6_convergence                 # paper-shaped grid
+//   $ bench_fig6_convergence --quick         # CI smoke grid
+//   $ bench_fig6_convergence --csv fig6.csv  # machine-readable rows
+//
+// Method: every cell shares one seed, hence one synthetic dataset; the
+// target loss is what the straggler-free uncoded run reaches after
+// --target_iters iterations (all schemes compute the same full gradient
+// per successful iteration, so they cross the target after essentially
+// the same number of iterations — what differs is how much simulated
+// time each iteration costs under stragglers). Cells run through the
+// parallel SweepPlan with stop_at_target, so the table is exactly
+// "seconds until the loss first dipped below target".
+
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/driver.hpp"
+#include "driver/sweep.hpp"
+#include "util/util.hpp"
+
+namespace {
+
+using namespace coupon;
+
+const std::vector<std::string>& schemes() {
+  static const std::vector<std::string> names = {"uncoded", "cr", "fr",
+                                                 "bcc"};
+  return names;
+}
+
+const std::vector<std::string>& scenarios() {
+  static const std::vector<std::string> names = {"shifted_exp", "heavy_tail",
+                                                 "bursty"};
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags
+      .add_bool("quick", false,
+                "CI smoke mode: smaller cluster, fewer iterations")
+      .add_int("workers", 50, "workers n (= units m; r must divide n for FR)")
+      .add_int("load", 10, "computational load r")
+      .add_int("iterations", 200, "iteration cap per run")
+      .add_int("target_iters", 40,
+               "target loss = straggler-free loss after this many iterations")
+      .add_int("features", 100, "feature dimension p")
+      .add_int("examples_per_unit", 20, "examples per unit (super example)")
+      .add_int("seed", 7, "PRNG seed (shared: one dataset for every cell)")
+      .add_int("threads", 0, "sweep threads (0 = hardware)")
+      .add_string("csv", "", "also write rows as CSV to this path");
+  if (!flags.parse(argc, argv)) {
+    return 1;
+  }
+  const bool quick = flags.get_bool("quick");
+
+  driver::ExperimentConfig base;
+  base.runtime = "sim";
+  base.train = true;
+  base.record_trace = false;
+  base.num_workers =
+      quick ? 20 : static_cast<std::size_t>(flags.get_int("workers"));
+  base.num_units = base.num_workers;
+  base.load = quick ? 4 : static_cast<std::size_t>(flags.get_int("load"));
+  base.iterations =
+      quick ? 60 : static_cast<std::size_t>(flags.get_int("iterations"));
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  base.features =
+      quick ? 40 : static_cast<std::size_t>(flags.get_int("features"));
+  base.examples_per_unit =
+      quick ? 10 : static_cast<std::size_t>(flags.get_int("examples_per_unit"));
+  const std::size_t target_iters =
+      quick ? 15 : static_cast<std::size_t>(flags.get_int("target_iters"));
+
+  // Step 1: the target — what a straggler-free uncoded run (the exact
+  // full-gradient trajectory every scheme follows) reaches after
+  // target_iters iterations.
+  double target_loss = 0.0;
+  try {
+    auto reference = base;
+    reference.scheme = "uncoded";
+    reference.scenario = "no_stragglers";
+    reference.iterations = target_iters;
+    const auto record = driver::run_experiment(reference);
+    target_loss = *record.final_loss;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reference run failed: %s\n", e.what());
+    return 1;
+  }
+
+  // Step 2: the grid, stopping each run at the target.
+  driver::SweepPlan plan;
+  plan.base = base;
+  plan.base.target_loss = target_loss;
+  plan.base.stop_at_target = true;
+  plan.schemes = schemes();
+  plan.scenarios = scenarios();
+
+  driver::SweepOptions options;
+  options.threads = static_cast<std::size_t>(flags.get_int("threads"));
+  std::vector<driver::RunRecord> records;
+  try {
+    records = driver::run_sweep(plan, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf(
+      "Time to target loss %.6f (straggler-free loss after %zu iters) — "
+      "n = m = %zu, r = %zu, p = %zu\n\n",
+      target_loss, target_iters, base.num_workers, base.load, base.features);
+
+  AsciiTable table({"scheme", "scenario", "time to target (s)", "iters",
+                    "mean K", "final loss"});
+  table.set_align(0, Align::kLeft);
+  table.set_align(1, Align::kLeft);
+  std::map<std::string, std::map<std::string, double>> time_by;  // scen->scheme
+  for (const auto& record : records) {
+    const bool reached = record.time_to_target.has_value();
+    if (reached) {
+      time_by[record.scenario][record.scheme] = *record.time_to_target;
+    }
+    table.add_row({record.scheme_display, record.scenario,
+                   reached ? format_double(*record.time_to_target, 3)
+                           : std::string("not reached"),
+                   std::to_string(record.iterations_run),
+                   format_double(record.recovery_threshold, 1),
+                   record.final_loss ? format_double(*record.final_loss, 6)
+                                     : std::string("-")});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nBCC speedup in time-to-target:\n");
+  for (const auto& [scenario, by_scheme] : time_by) {
+    const auto bcc = by_scheme.find("bcc");
+    if (bcc == by_scheme.end()) {
+      continue;
+    }
+    std::string line = "  " + scenario + ":";
+    for (const char* baseline : {"uncoded", "cr"}) {
+      const auto it = by_scheme.find(baseline);
+      if (it != by_scheme.end() && it->second > 0.0) {
+        line += " vs " + std::string(baseline) + " " +
+                format_percent(1.0 - bcc->second / it->second);
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf(
+      "\nEvery scheme applies the same full gradient per recovered "
+      "iteration, so the\ncurves differ only in how much simulated time an "
+      "iteration costs: BCC's low\nrecovery threshold buys the shortest "
+      "time to any given loss (the paper's\nerror-vs-time comparison).\n");
+
+  const std::string csv_path = flags.get_string("csv");
+  if (!csv_path.empty()) {
+    if (!driver::write_records_to_path(csv_path, records,
+                                       driver::RecordFormat::kSummaryCsv)) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -19,12 +19,19 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "core/gradient_source.hpp"
 #include "core/scheme_registry.hpp"
+#include "data/batching.hpp"
+#include "data/synthetic.hpp"
 #include "driver/record.hpp"
+#include "engine/engine.hpp"
+#include "opt/opt.hpp"
 #include "simulate/cluster_sim.hpp"
 #include "simulate/experiment.hpp"
 #include "stats/rng.hpp"
@@ -41,10 +48,16 @@ struct Cell {
   std::size_t units;
   std::size_t load;
   std::size_t iterations;  // full-mode count; quick mode divides by 10
+  /// Training mode: run the TrainingEngine over the simulated provider
+  /// (real gradients) instead of the timing-only kernel. Reported under
+  /// the "train:<scheme>" key so perf_check matches the right baseline.
+  bool train = false;
 };
 
 /// The benchmark grid. Every scheme sees a small, the paper's scenario
 /// one, and a large shape; all satisfy m == n (CR/FR) and r | n (FR).
+/// The train rows gate the convergence path (engine + encode + decode)
+/// at the same (n, m, r) shapes.
 const std::vector<Cell>& grid() {
   static const std::vector<Cell> cells = {
       {"uncoded", 20, 20, 4, 5000},  {"cr", 20, 20, 4, 5000},
@@ -53,6 +66,9 @@ const std::vector<Cell>& grid() {
       {"fr", 50, 50, 10, 2000},      {"bcc", 50, 50, 10, 2000},
       {"uncoded", 100, 100, 10, 1000}, {"cr", 100, 100, 10, 1000},
       {"fr", 100, 100, 10, 1000},    {"bcc", 100, 100, 10, 1000},
+      {"uncoded", 20, 20, 4, 2000, /*train=*/true},
+      {"bcc", 20, 20, 4, 2000, /*train=*/true},
+      {"bcc", 50, 50, 10, 500, /*train=*/true},
   };
   return cells;
 }
@@ -63,6 +79,11 @@ struct Result {
   std::size_t reps = 0;
   double best_seconds = 0.0;
   double iters_per_sec = 0.0;
+
+  /// The perf_check matching key: "<scheme>" or "train:<scheme>".
+  std::string key() const {
+    return cell.train ? std::string("train:") + cell.scheme : cell.scheme;
+  }
 };
 
 Result run_cell(const Cell& cell, std::size_t iterations, std::size_t reps) {
@@ -72,10 +93,30 @@ Result run_cell(const Cell& cell, std::size_t iterations, std::size_t reps) {
   config.num_workers = cell.workers;
   config.num_units = cell.units;
   config.load = cell.load;
+  config.bcc_seed_first_batches = cell.train;  // no failed train iterations
 
   stats::Rng build_rng(0xBE5C0000 + cell.workers);
   const auto scheme =
       core::SchemeRegistry::instance().create(cell.scheme, config, build_rng);
+
+  // Training rows: a small logistic workload (the convergence path's
+  // gradient cost scales with p and examples/unit; the gate targets the
+  // engine + encode/decode overhead, not BLAS throughput).
+  data::SyntheticProblem problem;
+  std::optional<data::BatchPartition> partition;
+  std::unique_ptr<core::GroupedBatchSource> source;
+  if (cell.train) {
+    constexpr std::size_t kFeatures = 20;
+    constexpr std::size_t kExamplesPerUnit = 5;
+    stats::Rng data_rng(0xDA7A + cell.workers);
+    data::SyntheticConfig dconf;
+    dconf.num_features = kFeatures;
+    problem =
+        data::generate_logreg(cell.units * kExamplesPerUnit, dconf, data_rng);
+    partition.emplace(cell.units * kExamplesPerUnit, kExamplesPerUnit);
+    source = std::make_unique<core::GroupedBatchSource>(problem.dataset,
+                                                        *partition);
+  }
 
   Result result;
   result.cell = cell;
@@ -85,15 +126,33 @@ Result run_cell(const Cell& cell, std::size_t iterations, std::size_t reps) {
   for (std::size_t rep = 0; rep < reps; ++rep) {
     stats::Rng rng(0x5EED + rep);
     WallTimer timer;
-    simulate::RunOptions options;
-    options.iterations = iterations;
-    options.record_trace = false;
-    const auto run = simulate::simulate_run(*scheme, cluster, options, rng);
-    const double elapsed = timer.seconds();
-    // Touch the aggregate so the run cannot be optimized away.
-    if (run.workers_heard.count() != iterations) {
-      std::fprintf(stderr, "perf_sim: run dropped iterations\n");
-      std::exit(1);
+    double elapsed = 0.0;
+    if (cell.train) {
+      engine::SimulatedProvider provider(*scheme, *source, cluster, rng);
+      engine::TrainingEngine protocol(*scheme, *source, provider);
+      opt::NesterovGradient optimizer(
+          source->dim(), opt::LearningRateSchedule::constant(2.0));
+      engine::TrainOptions options;
+      options.iterations = iterations;
+      const auto report = protocol.train(optimizer, options);
+      elapsed = timer.seconds();
+      // A failed iteration skips the gradient/decode work under
+      // measurement and would silently inflate train-iters/sec.
+      if (report.failed_iterations != 0) {
+        std::fprintf(stderr, "perf_sim: training run dropped iterations\n");
+        std::exit(1);
+      }
+    } else {
+      simulate::RunOptions options;
+      options.iterations = iterations;
+      options.record_trace = false;
+      const auto run = simulate::simulate_run(*scheme, cluster, options, rng);
+      elapsed = timer.seconds();
+      // Touch the aggregate so the run cannot be optimized away.
+      if (run.workers_heard.count() != iterations) {
+        std::fprintf(stderr, "perf_sim: run dropped iterations\n");
+        std::exit(1);
+      }
     }
     if (result.best_seconds < 0.0 || elapsed < result.best_seconds) {
       result.best_seconds = elapsed;
@@ -115,7 +174,7 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
                   "    {\"scheme\": \"%s\", \"workers\": %zu, \"units\": %zu, "
                   "\"load\": %zu, \"iterations\": %zu, \"reps\": %zu, "
                   "\"best_seconds\": %.6f, \"iters_per_sec\": %.1f}%s\n",
-                  r.cell.scheme, r.cell.workers, r.cell.units, r.cell.load,
+                  r.key().c_str(), r.cell.workers, r.cell.units, r.cell.load,
                   r.iterations, r.reps, r.best_seconds, r.iters_per_sec,
                   i + 1 == results.size() ? "" : ",");
     os << line;
@@ -146,8 +205,8 @@ int main(int argc, char** argv) {
               : cell.iterations;
     results.push_back(run_cell(cell, iterations, reps));
     const Result& r = results.back();
-    std::fprintf(stderr, "%-8s n=%-4zu m=%-4zu r=%-3zu %8.0f iters/sec\n",
-                 r.cell.scheme, r.cell.workers, r.cell.units, r.cell.load,
+    std::fprintf(stderr, "%-13s n=%-4zu m=%-4zu r=%-3zu %8.0f iters/sec\n",
+                 r.key().c_str(), r.cell.workers, r.cell.units, r.cell.load,
                  r.iters_per_sec);
   }
 

@@ -38,15 +38,11 @@ int main(int argc, char** argv) {
   scenario.cluster.compute_shift = flags.get_double("compute_ms") * 1e-3;
   scenario.cluster.compute_straggle = flags.get_double("straggle");
 
-  using coupon::core::SchemeKind;
-  std::vector<SchemeKind> kinds = {SchemeKind::kUncoded,
-                                   SchemeKind::kSimpleRandom,
-                                   SchemeKind::kCyclicRepetition,
-                                   SchemeKind::kBcc};
+  std::vector<std::string> kinds = {"uncoded", "simple_random", "cr", "bcc"};
   // FR needs r | n.
   if (scenario.num_workers % scenario.load == 0 &&
       scenario.num_units == scenario.num_workers) {
-    kinds.insert(kinds.begin() + 3, SchemeKind::kFractionalRepetition);
+    kinds.insert(kinds.begin() + 3, "fr");
   }
 
   const auto rows = coupon::simulate::run_scenario(scenario, kinds);

@@ -8,7 +8,7 @@
 //   1. generate (or load) a dataset            -> data::Dataset
 //   2. group examples into gradient units      -> data::BatchPartition +
 //                                                  core::GroupedBatchSource
-//   3. pick a scheme and computational load    -> core::make_scheme
+//   3. pick a scheme and computational load    -> core::SchemeRegistry
 //   4. spin up the cluster and an optimizer    -> runtime::ThreadCluster +
 //                                                  opt::NesterovGradient
 //   5. train                                   -> cluster.train(...)
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   sconf.load = r;
   sconf.bcc_seed_first_batches = true;  // guarantee per-iteration coverage
   auto scheme =
-      coupon::core::make_scheme(coupon::core::SchemeKind::kBcc, sconf, rng);
+      coupon::core::SchemeRegistry::instance().create("bcc", sconf, rng);
 
   std::printf("BCC quickstart: %zu workers, %zu examples -> %zu units, "
               "load r = %zu (B = %zu batches)\n",
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
       coupon::opt::logistic_loss(problem.dataset, result.weights);
 
   std::printf("trained %zu iterations in %.3f s wall clock\n", iterations,
-              result.wall_seconds);
+              result.elapsed_seconds);
   std::printf("loss: %.4f -> %.4f, train accuracy: %s\n", loss0, loss1,
               coupon::format_percent(
                   coupon::opt::accuracy(problem.dataset, result.weights))

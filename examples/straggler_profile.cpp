@@ -48,9 +48,7 @@ int main(int argc, char** argv) {
                             "final loss"});
   table.set_align(0, coupon::Align::kLeft);
 
-  using coupon::core::SchemeKind;
-  for (SchemeKind kind : {SchemeKind::kUncoded,
-                          SchemeKind::kCyclicRepetition, SchemeKind::kBcc}) {
+  for (const char* kind : {"uncoded", "cr", "bcc"}) {
     coupon::stats::Rng scheme_rng(static_cast<std::uint64_t>(
         flags.get_int("seed")));
     coupon::core::SchemeConfig config;
@@ -58,7 +56,8 @@ int main(int argc, char** argv) {
     config.num_units = n;
     config.load = r;
     config.bcc_seed_first_batches = true;
-    auto scheme = coupon::core::make_scheme(kind, config, scheme_rng);
+    auto scheme = coupon::core::SchemeRegistry::instance().create(
+        kind, config, scheme_rng);
 
     coupon::runtime::ThreadCluster cluster(*scheme, source);
     coupon::opt::NesterovGradient optimizer(
@@ -72,7 +71,7 @@ int main(int argc, char** argv) {
     const auto result = cluster.train(optimizer, options);
     table.add_row(
         {std::string(scheme->name()),
-         coupon::format_double(result.wall_seconds, 3),
+         coupon::format_double(result.elapsed_seconds, 3),
          coupon::format_double(result.workers_heard.mean(), 1),
          coupon::format_double(result.workers_heard.max(), 0),
          coupon::format_double(

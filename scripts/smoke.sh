@@ -25,6 +25,15 @@ run "${BUILD_DIR}/tools/coupon_run" --scheme cr --scenario lossy \
     --runtime sim --iterations 5 --out -
 run "${BUILD_DIR}/tools/coupon_run" --list
 
+# Simulated training (real gradients over simulated time): the summary
+# row must carry a final loss and a reached time_to_target.
+run "${BUILD_DIR}/tools/coupon_run" --scheme bcc --scenario shifted_exp \
+    --runtime sim --train --workers 8 --units 8 --load 2 --iterations 10 \
+    --features 6 --examples_per_unit 4 --target_loss 0.69 \
+    --out "${TMP_DIR}/train.csv"
+grep -q "time_to_target" "${TMP_DIR}/train.csv"
+test "$(tail -1 "${TMP_DIR}/train.csv" | awk -F, '{print $NF}')" != ""
+
 # Parallel sweep: 2 schemes x 2 scenarios x 2 loads -> exactly 8 JSONL
 # rows and 8 CSV rows + header.
 run "${BUILD_DIR}/tools/coupon_run" --sweep --schemes bcc,cr \
@@ -61,6 +70,9 @@ run "${BUILD_DIR}/bench/bench_coupon_tail" --trials 500
 run "${BUILD_DIR}/bench/bench_fig2_tradeoff" --trials 50
 run "${BUILD_DIR}/bench/bench_fig4_runtime" --iterations 5
 run "${BUILD_DIR}/bench/bench_fig5_heterogeneous" --trials 50 --refine_steps 10
+run "${BUILD_DIR}/bench/bench_fig6_convergence" --quick \
+    --csv "${TMP_DIR}/fig6.csv"
+test -s "${TMP_DIR}/fig6.csv"
 run "${BUILD_DIR}/bench/bench_perf_sim" --quick --reps 1 \
     --out "${TMP_DIR}/perf.json"
 test -s "${TMP_DIR}/perf.json"

@@ -29,7 +29,8 @@ class BccScheme final : public Scheme {
   BccScheme(std::size_t num_workers, std::size_t num_units, std::size_t load,
             bool seed_first_batches, stats::Rng& rng);
 
-  SchemeKind kind() const override { return SchemeKind::kBcc; }
+  std::string_view registry_name() const override { return "bcc"; }
+  std::string_view name() const override { return "BCC"; }
 
   comm::Message encode(std::size_t worker, const UnitGradientSource& source,
                        std::span<const double> w) const override;

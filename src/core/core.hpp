@@ -9,6 +9,7 @@
 #include "core/gradient_source.hpp"        // IWYU pragma: export
 #include "core/hetero.hpp"                 // IWYU pragma: export
 #include "core/scheme.hpp"                 // IWYU pragma: export
+#include "core/scheme_registry.hpp"        // IWYU pragma: export
 #include "core/simple_random.hpp"          // IWYU pragma: export
 #include "core/theory.hpp"                 // IWYU pragma: export
 #include "core/uncoded.hpp"                // IWYU pragma: export

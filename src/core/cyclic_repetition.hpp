@@ -36,7 +36,8 @@ class CyclicRepetitionScheme final : public Scheme {
   CyclicRepetitionScheme(std::size_t num_workers, std::size_t load,
                          stats::Rng& rng);
 
-  SchemeKind kind() const override { return SchemeKind::kCyclicRepetition; }
+  std::string_view registry_name() const override { return "cr"; }
+  std::string_view name() const override { return "cyclic repetition"; }
 
   comm::Message encode(std::size_t worker, const UnitGradientSource& source,
                        std::span<const double> w) const override;

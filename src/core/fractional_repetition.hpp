@@ -24,9 +24,8 @@ class FractionalRepetitionScheme final : public Scheme {
  public:
   FractionalRepetitionScheme(std::size_t num_workers, std::size_t load);
 
-  SchemeKind kind() const override {
-    return SchemeKind::kFractionalRepetition;
-  }
+  std::string_view registry_name() const override { return "fr"; }
+  std::string_view name() const override { return "fractional repetition"; }
 
   comm::Message encode(std::size_t worker, const UnitGradientSource& source,
                        std::span<const double> w) const override;

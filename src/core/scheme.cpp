@@ -1,6 +1,5 @@
 #include "core/scheme.hpp"
 
-#include "core/scheme_registry.hpp"
 #include "util/assert.hpp"
 
 namespace coupon::core {
@@ -9,45 +8,6 @@ std::size_t Collector::decode_partial_sum(std::span<double>) const {
   COUPON_ASSERT_MSG(false,
                     "this collector does not support partial decoding");
   return 0;
-}
-
-std::string_view scheme_kind_name(SchemeKind kind) {
-  switch (kind) {
-    case SchemeKind::kUncoded:
-      return "uncoded";
-    case SchemeKind::kBcc:
-      return "BCC";
-    case SchemeKind::kSimpleRandom:
-      return "simple randomized";
-    case SchemeKind::kCyclicRepetition:
-      return "cyclic repetition";
-    case SchemeKind::kFractionalRepetition:
-      return "fractional repetition";
-  }
-  return "unknown";
-}
-
-std::string_view scheme_registry_name(SchemeKind kind) {
-  switch (kind) {
-    case SchemeKind::kUncoded:
-      return "uncoded";
-    case SchemeKind::kBcc:
-      return "bcc";
-    case SchemeKind::kSimpleRandom:
-      return "simple_random";
-    case SchemeKind::kCyclicRepetition:
-      return "cr";
-    case SchemeKind::kFractionalRepetition:
-      return "fr";
-  }
-  return "unknown";
-}
-
-std::unique_ptr<Scheme> make_scheme(SchemeKind kind,
-                                    const SchemeConfig& config,
-                                    stats::Rng& rng) {
-  return SchemeRegistry::instance().create(scheme_registry_name(kind), config,
-                                           rng);
 }
 
 }  // namespace coupon::core

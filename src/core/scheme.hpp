@@ -107,39 +107,20 @@ class Collector {
   double units_received_ = 0.0;
 };
 
-/// Identifies the built-in schemes.
-///
-/// DEPRECATED shim: new code selects schemes by registry name through
-/// `core::SchemeRegistry` (scheme_registry.hpp); the enum is closed and
-/// cannot name schemes registered by plugins. Kept for the tests and
-/// simulate helpers that still enumerate the built-ins.
-enum class SchemeKind {
-  kUncoded,
-  kBcc,
-  kSimpleRandom,
-  kCyclicRepetition,
-  kFractionalRepetition,
-};
-
-/// Human-readable scheme name ("uncoded", "BCC", ...).
-std::string_view scheme_kind_name(SchemeKind kind);
-
-/// Canonical registry/CLI name of a built-in scheme ("uncoded", "bcc",
-/// "simple_random", "cr", "fr") — the bridge from the deprecated enum to
-/// `SchemeRegistry` lookups.
-std::string_view scheme_registry_name(SchemeKind kind);
-
 /// A configured gradient-coding scheme instance.
 ///
-/// Construction (via `make_scheme`) draws the placement; the instance is
-/// immutable afterwards, so one scheme object can serve many concurrent
-/// iterations/collectors.
+/// Construction (via `SchemeRegistry::create`) draws the placement; the
+/// instance is immutable afterwards, so one scheme object can serve many
+/// concurrent iterations/collectors.
 class Scheme {
  public:
   virtual ~Scheme() = default;
 
-  virtual SchemeKind kind() const = 0;
-  std::string_view name() const { return scheme_kind_name(kind()); }
+  /// Canonical `SchemeRegistry` / CLI name ("uncoded", "bcc", "cr", ...).
+  virtual std::string_view registry_name() const = 0;
+
+  /// Human-readable name for table rendering ("BCC", "cyclic repetition").
+  virtual std::string_view name() const = 0;
 
   std::size_t num_workers() const { return placement_.num_workers(); }
   std::size_t num_units() const { return placement_.num_examples(); }
@@ -183,7 +164,7 @@ class Scheme {
   data::Placement placement_;
 };
 
-/// Options shared by `make_scheme`.
+/// Options shared by the `SchemeRegistry` factories.
 struct SchemeConfig {
   std::size_t num_workers = 0;  ///< n
   std::size_t num_units = 0;    ///< m (units / super-examples)
@@ -192,12 +173,5 @@ struct SchemeConfig {
   /// DESIGN.md §5.3). Default matches the paper (fully random choice).
   bool bcc_seed_first_batches = false;
 };
-
-/// Builds a configured scheme, drawing any randomness from `rng`.
-///
-/// DEPRECATED shim over `SchemeRegistry::create` (same factories, same
-/// RNG draws); new code should create schemes by name via the registry.
-std::unique_ptr<Scheme> make_scheme(SchemeKind kind, const SchemeConfig& config,
-                                    stats::Rng& rng);
 
 }  // namespace coupon::core

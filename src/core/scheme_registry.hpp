@@ -7,9 +7,9 @@
 /// together with a factory and capability flags. The driver, benches, and
 /// tools select schemes by name through this registry, so adding a scheme
 /// is one `SchemeRegistration` call in the new scheme's translation unit —
-/// no enum, switch, or name-table edits. The legacy `SchemeKind` enum and
-/// `make_scheme` remain as deprecated shims over this registry (see
-/// scheme.hpp).
+/// no enum, switch, or name-table edits. (The legacy closed `SchemeKind`
+/// enum and its `make_scheme` shim were removed; instances report their
+/// canonical name via `Scheme::registry_name()`.)
 ///
 /// Registration discipline: register at static-initialization time (via
 /// `SchemeRegistration`) or during single-threaded startup, before

@@ -19,7 +19,8 @@ class SimpleRandomScheme final : public Scheme {
   SimpleRandomScheme(std::size_t num_workers, std::size_t num_units,
                      std::size_t load, stats::Rng& rng);
 
-  SchemeKind kind() const override { return SchemeKind::kSimpleRandom; }
+  std::string_view registry_name() const override { return "simple_random"; }
+  std::string_view name() const override { return "simple randomized"; }
 
   /// The message concatenates the worker's r per-unit gradients in the
   /// order of `meta` (which lists the unit indices); payload size is

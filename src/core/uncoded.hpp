@@ -18,7 +18,8 @@ class UncodedScheme final : public Scheme {
   /// paper's setting is m = n units via super-examples).
   UncodedScheme(std::size_t num_workers, std::size_t num_units);
 
-  SchemeKind kind() const override { return SchemeKind::kUncoded; }
+  std::string_view registry_name() const override { return "uncoded"; }
+  std::string_view name() const override { return "uncoded"; }
 
   comm::Message encode(std::size_t worker, const UnitGradientSource& source,
                        std::span<const double> w) const override;

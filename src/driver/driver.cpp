@@ -15,7 +15,8 @@ ExperimentConfig config_from_sim_scenario(const simulate::ScenarioConfig& s) {
   config.load = s.load;
   config.iterations = s.iterations;
   config.seed = s.seed;
-  config.cluster_override = s.cluster;
+  config.cluster_override =
+      std::make_shared<const simulate::ClusterConfig>(s.cluster);
   return config;
 }
 
@@ -33,11 +34,26 @@ void add_experiment_flags(CliFlags& flags) {
       .add_int("seed", 1, "PRNG seed")
       .add_string("on_failure", "skip",
                   "unrecoverable-iteration policy (skip|partial)")
-      .add_int("features", 20, "threaded runtime: feature dimension p")
+      .add_bool("train", false,
+                "sim runtime: train real gradients over simulated time "
+                "(loss-vs-simulated-seconds convergence records)")
+      .add_string("objective", "logistic",
+                  "training objective (logistic|least_squares)")
+      .add_string("optimizer", "nesterov",
+                  "training optimizer (nesterov|gd|heavy_ball|adagrad)")
+      .add_int("features", 20, "training: feature dimension p")
       .add_int("examples_per_unit", 20,
-               "threaded runtime: training examples per unit")
-      .add_double("learning_rate", 2.0,
-                  "threaded runtime: Nesterov learning rate");
+               "training: examples per unit (logistic objective)")
+      .add_double("learning_rate", 2.0, "training: learning rate mu0")
+      .add_double("lr_decay", 0.0,
+                  "training: inverse-time decay (mu_t = mu0/(1+decay*t))")
+      .add_double("target_loss", 0.0,
+                  "training: report time_to_target for this loss "
+                  "(0 = unset)")
+      .add_bool("stop_at_target", false,
+                "training: stop as soon as target_loss is reached")
+      .add_bool("loss_history", false,
+                "training: record the per-iteration (seconds, loss) curve");
 }
 
 std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags) {
@@ -81,12 +97,30 @@ std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags) {
 
   const std::string policy = flags.get_string("on_failure");
   if (policy == "skip") {
-    config.on_failure = runtime::FailurePolicy::kSkipUpdate;
+    config.on_failure = engine::FailurePolicy::kSkipUpdate;
   } else if (policy == "partial") {
-    config.on_failure = runtime::FailurePolicy::kApplyPartial;
+    config.on_failure = engine::FailurePolicy::kApplyPartial;
   } else {
     std::fprintf(stderr, "unknown --on_failure '%s' (choices: skip|partial)\n",
                  policy.c_str());
+    return std::nullopt;
+  }
+
+  config.train = flags.get_bool("train");
+  config.objective = flags.get_string("objective");
+  if (config.objective != "logistic" && config.objective != "least_squares") {
+    std::fprintf(stderr,
+                 "unknown --objective '%s' (choices: logistic|least_squares)\n",
+                 config.objective.c_str());
+    return std::nullopt;
+  }
+  config.optimizer = flags.get_string("optimizer");
+  if (config.optimizer != "nesterov" && config.optimizer != "gd" &&
+      config.optimizer != "heavy_ball" && config.optimizer != "adagrad") {
+    std::fprintf(
+        stderr,
+        "unknown --optimizer '%s' (choices: nesterov|gd|heavy_ball|adagrad)\n",
+        config.optimizer.c_str());
     return std::nullopt;
   }
 
@@ -99,6 +133,12 @@ std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags) {
   config.examples_per_unit =
       static_cast<std::size_t>(flags.get_int("examples_per_unit"));
   config.learning_rate = flags.get_double("learning_rate");
+  config.lr_decay = flags.get_double("lr_decay");
+  if (flags.get_double("target_loss") > 0.0) {
+    config.target_loss = flags.get_double("target_loss");
+  }
+  config.stop_at_target = flags.get_bool("stop_at_target");
+  config.record_loss_history = flags.get_bool("loss_history");
   return config;
 }
 

@@ -2,16 +2,26 @@
 
 /// \file experiment_config.hpp
 /// The fully-resolved description of one experiment cell: which scheme,
-/// scenario, and runtime (all by registry name), the problem shape, and
-/// the runtime-specific knobs. Consumed by `Runtime::run` and produced by
-/// CLI parsing (driver.hpp) and `SweepPlan` expansion (sweep.hpp).
+/// scenario, and runtime (all by registry name), the problem shape, the
+/// training workload, and the runtime-specific knobs. Consumed by
+/// `Runtime::run` and produced by CLI parsing (driver.hpp) and
+/// `SweepPlan` expansion (sweep.hpp).
+///
+/// Deliberately light on includes: the simulator cluster model is held
+/// behind a forward-declared shared_ptr and the failure policy comes
+/// from the tiny engine/types.hpp, so driver consumers do not rebuild
+/// when the simulation engine or the threaded transport change.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
-#include "runtime/thread_cluster.hpp"
-#include "simulate/cluster_sim.hpp"
+#include "engine/types.hpp"
+
+namespace coupon::simulate {
+struct ClusterConfig;
+}
 
 namespace coupon::driver {
 
@@ -27,32 +37,57 @@ struct ExperimentConfig {
   std::size_t iterations = 100;
   std::uint64_t seed = 1;
 
-  /// Simulated runtime only: record the per-iteration latency trace into
-  /// `RunRecord::trace`. Defaults to true so single runs keep feeding the
-  /// trace-CSV/JSONL renderers; summary-only consumers (sweeps streaming
-  /// to summary sinks — see `coupon_run --sweep` and the table/figure
-  /// benches) turn it off so `simulate_run` never materializes
-  /// per-iteration storage. Ignored by the threaded runtime, whose
-  /// records never carry a trace.
+  /// Simulated runtime, timing-only mode: record the per-iteration
+  /// latency trace into `RunRecord::trace`. Defaults to true so single
+  /// runs keep feeding the trace-CSV/JSONL renderers; summary-only
+  /// consumers (sweeps streaming to summary sinks — see `coupon_run
+  /// --sweep` and the table/figure benches) turn it off so
+  /// `simulate_run` never materializes per-iteration storage. Ignored by
+  /// the threaded runtime and by training runs, whose records never
+  /// carry a latency trace.
   bool record_trace = true;
 
   /// When set, replaces the named scenario's simulator cluster model —
   /// the carrier for callers holding a customized simulate cluster (e.g.
   /// `config_from_sim_scenario`, the ablation benches' drop/bandwidth
   /// sweeps). Simulated runtime only: the threaded runtime fails loudly
-  /// on a set override instead of silently ignoring it.
-  std::optional<simulate::ClusterConfig> cluster_override;
+  /// on a set override instead of silently ignoring it. (A shared_ptr so
+  /// this header needs no simulator includes; the pointee is never
+  /// mutated after construction.)
+  std::shared_ptr<const simulate::ClusterConfig> cluster_override;
 
-  // Threaded runtime only: the synthetic logistic-regression workload.
+  // --- training workload (threaded runtime always trains; the simulated
+  // --- runtime trains when `train` is set, else measures timing only) --
+
+  /// Simulated runtime: couple the iteration kernel's arrival order and
+  /// recovery times with real gradients (engine/simulated_provider.hpp),
+  /// producing loss-vs-simulated-seconds convergence records.
+  bool train = false;
+  /// Objective: "logistic" (the paper's synthetic model; units are
+  /// batches of `examples_per_unit` points) or "least_squares" (linear
+  /// regression; one example per unit).
+  std::string objective = "logistic";
+  /// Optimizer: "nesterov" (the paper's), "gd", "heavy_ball", "adagrad".
+  std::string optimizer = "nesterov";
   std::size_t features = 20;
   std::size_t examples_per_unit = 20;
   double learning_rate = 2.0;
+  /// Inverse-time learning-rate decay: mu_t = learning_rate/(1+decay*t).
+  double lr_decay = 0.0;
+  /// When set, `RunRecord::time_to_target` reports the elapsed seconds
+  /// at which the training loss first reached this value.
+  std::optional<double> target_loss;
+  /// Stop a training run as soon as target_loss is reached.
+  bool stop_at_target = false;
+  /// Record the per-iteration (seconds, loss) curve into
+  /// `RunRecord::loss_history`.
+  bool record_loss_history = false;
   /// What the master does on an unrecoverable iteration.
-  runtime::FailurePolicy on_failure = runtime::FailurePolicy::kSkipUpdate;
+  engine::FailurePolicy on_failure = engine::FailurePolicy::kSkipUpdate;
   /// BCC only: deterministic first-batch coverage aid (DESIGN.md §5.3).
-  /// nullopt = the runtime's default (simulated: false, matching the
-  /// paper's fully random choice; threaded: true, matching the
-  /// quickstart's real-training setup).
+  /// nullopt = the runtime's default (timing-only simulation: false,
+  /// matching the paper's fully random choice; training runs: true,
+  /// matching the quickstart's real-training setup).
   std::optional<bool> bcc_seed_first_batches;
 };
 

@@ -79,7 +79,7 @@ const std::vector<std::string>& summary_csv_header() {
       "compute_time",  "total_time",
       "mean_units",    "failures",
       "partial_iterations", "final_loss",
-      "train_accuracy"};
+      "train_accuracy", "time_to_target"};
   return header;
 }
 
@@ -117,7 +117,8 @@ void CsvSummarySink::write(const RunRecord& record) {
            std::to_string(record.failures),
            std::to_string(record.partial_iterations),
            optional_field(record.final_loss, 6),
-           optional_field(record.train_accuracy, 4)});
+           optional_field(record.train_accuracy, 4),
+           optional_field(record.time_to_target, 6)});
 }
 
 void JsonlSink::write(const RunRecord& record) {
@@ -140,6 +141,25 @@ void JsonlSink::write(const RunRecord& record) {
       << ",\"train_accuracy\":"
       << (record.train_accuracy ? json_number(*record.train_accuracy)
                                 : "null");
+  // Convergence fields are emitted only for training records, keeping
+  // timing-only JSONL (and the pinned golden traces) byte-identical to
+  // the pre-engine schema.
+  if (record.final_loss) {
+    os_ << ",\"iterations_run\":" << record.iterations_run;
+  }
+  if (record.time_to_target) {
+    os_ << ",\"time_to_target\":" << json_number(*record.time_to_target);
+  }
+  if (!record.loss_history.empty()) {
+    os_ << ",\"loss_history\":[";
+    for (std::size_t i = 0; i < record.loss_history.size(); ++i) {
+      const auto& point = record.loss_history[i];
+      os_ << (i == 0 ? "" : ",") << "{\"seconds\":"
+          << json_number(point.seconds)
+          << ",\"loss\":" << json_number(point.loss) << "}";
+    }
+    os_ << "]";
+  }
   if (include_trace_) {
     os_ << ",\"trace\":[";
     for (std::size_t t = 0; t < record.trace.size(); ++t) {

@@ -17,7 +17,8 @@
 #include <string>
 #include <vector>
 
-#include "simulate/cluster_sim.hpp"
+#include "engine/types.hpp"
+#include "simulate/iteration_report.hpp"
 
 namespace coupon::driver {
 
@@ -50,9 +51,17 @@ struct RunRecord {
   std::size_t failures = 0;         ///< unrecovered iterations
   std::size_t partial_iterations = 0;  ///< partial-decode updates applied
 
-  // Model quality — threaded runtime only.
+  // Model quality — training runs only (threaded runtime, or the
+  // simulated runtime with `ExperimentConfig::train`).
   std::optional<double> final_loss;
   std::optional<double> train_accuracy;
+
+  // Convergence — training runs only. Rendered by the sinks only when
+  // present, so timing-only output (and the pinned golden traces) is
+  // byte-identical to the pre-engine schema.
+  std::optional<double> time_to_target;  ///< seconds to reach target_loss
+  std::size_t iterations_run = 0;        ///< < iterations on stop_at_target
+  std::vector<engine::LossPoint> loss_history;  ///< opt-in (seconds, loss)
 };
 
 /// Consumes finished records in deterministic order. `write` is always

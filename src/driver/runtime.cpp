@@ -7,6 +7,9 @@
 #include "data/batching.hpp"
 #include "data/synthetic.hpp"
 #include "driver/scenario_registry.hpp"
+#include "engine/simulated_provider.hpp"
+#include "engine/training_engine.hpp"
+#include "opt/least_squares.hpp"
 #include "opt/logistic.hpp"
 #include "opt/optimizer.hpp"
 #include "runtime/thread_cluster.hpp"
@@ -50,6 +53,106 @@ core::SchemeConfig scheme_config(const ExperimentConfig& config,
   return sconf;
 }
 
+/// The synthetic training problem of one cell: dataset, unit gradient
+/// source, and loss. Owns everything the source references, so it must
+/// outlive the run and never be moved after `build_workload`.
+struct TrainingWorkload {
+  data::SyntheticProblem problem;
+  std::optional<data::BatchPartition> partition;  // logistic only
+  std::unique_ptr<core::UnitGradientSource> source;
+  std::function<double(std::span<const double>)> loss;
+  bool has_accuracy = false;  ///< classification objectives only
+};
+
+/// Materializes the cell's objective into `out`, drawing data from `rng`.
+/// "logistic" is the paper's model: m units of `examples_per_unit` points
+/// each ("super examples", footnote 1). "least_squares" is the linear-
+/// regression variant with one example per unit.
+void build_workload(const ExperimentConfig& config, stats::Rng& rng,
+                    TrainingWorkload& out) {
+  data::SyntheticConfig dconf;
+  dconf.num_features = config.features;
+  if (config.objective == "logistic") {
+    const std::size_t num_examples =
+        config.num_units * config.examples_per_unit;
+    out.problem = data::generate_logreg(num_examples, dconf, rng);
+    out.partition.emplace(num_examples, config.examples_per_unit);
+    COUPON_ASSERT(out.partition->num_batches() == config.num_units);
+    out.source = std::make_unique<core::GroupedBatchSource>(
+        out.problem.dataset, *out.partition);
+    const data::Dataset* dataset = &out.problem.dataset;
+    out.loss = [dataset](std::span<const double> w) {
+      return opt::logistic_loss(*dataset, w);
+    };
+    out.has_accuracy = true;
+  } else if (config.objective == "least_squares") {
+    out.problem = data::generate_linreg(config.num_units, dconf,
+                                        /*noise_stddev=*/0.2, rng);
+    out.source =
+        std::make_unique<core::LeastSquaresExampleSource>(out.problem.dataset);
+    const data::Dataset* dataset = &out.problem.dataset;
+    out.loss = [dataset](std::span<const double> w) {
+      return opt::squared_loss(*dataset, w);
+    };
+  } else {
+    throw std::invalid_argument("unknown objective '" + config.objective +
+                                "' (choices: logistic|least_squares)");
+  }
+}
+
+std::unique_ptr<opt::IterativeOptimizer> make_optimizer(
+    const ExperimentConfig& config) {
+  const auto schedule =
+      config.lr_decay > 0.0
+          ? opt::LearningRateSchedule::inverse_time(config.learning_rate,
+                                                    config.lr_decay)
+          : opt::LearningRateSchedule::constant(config.learning_rate);
+  if (config.optimizer == "nesterov") {
+    return std::make_unique<opt::NesterovGradient>(config.features, schedule);
+  }
+  if (config.optimizer == "gd") {
+    return std::make_unique<opt::GradientDescent>(config.features, schedule);
+  }
+  if (config.optimizer == "heavy_ball") {
+    return std::make_unique<opt::HeavyBallGradient>(config.features, schedule);
+  }
+  if (config.optimizer == "adagrad") {
+    return std::make_unique<opt::AdaGrad>(config.features, schedule);
+  }
+  throw std::invalid_argument(
+      "unknown optimizer '" + config.optimizer +
+      "' (choices: nesterov|gd|heavy_ball|adagrad)");
+}
+
+engine::TrainOptions engine_options(const ExperimentConfig& config,
+                                    const TrainingWorkload& workload) {
+  engine::TrainOptions options;
+  options.iterations = config.iterations;
+  options.on_failure = config.on_failure;
+  options.loss_fn = workload.loss;
+  options.record_loss_history = config.record_loss_history;
+  options.target_loss = config.target_loss;
+  options.stop_at_target = config.stop_at_target;
+  return options;
+}
+
+void fill_convergence_fields(const engine::TrainReport& report,
+                             const TrainingWorkload& workload,
+                             RunRecord& record) {
+  record.recovery_threshold = report.workers_heard.mean();
+  record.total_time = report.elapsed_seconds;
+  record.mean_units = report.units_received.mean();
+  record.failures = report.failed_iterations;
+  record.partial_iterations = report.partial_iterations;
+  record.iterations_run = report.iterations_run;
+  record.final_loss = report.final_loss;
+  record.time_to_target = report.time_to_target;
+  if (workload.has_accuracy) {
+    record.train_accuracy =
+        opt::accuracy(workload.problem.dataset, report.weights);
+  }
+}
+
 }  // namespace
 
 RunRecord SimulatedRuntime::run(const ExperimentConfig& config) const {
@@ -57,16 +160,45 @@ RunRecord SimulatedRuntime::run(const ExperimentConfig& config) const {
       config.scenario, config.num_workers);
   RunRecord record = identity_record(config, name());
 
+  // The footgun fix: a caller-supplied cluster model (e.g. from
+  // config_from_sim_scenario) wins over the named scenario's.
+  const simulate::ClusterConfig& cluster =
+      config.cluster_override ? *config.cluster_override : scenario.cluster;
+
+  if (config.train) {
+    // Convergence mode: the shared TrainingEngine over the simulated
+    // provider — kernel arrival order and ingress timing coupled with
+    // real gradients. Data first, then the scheme, mirroring the
+    // threaded runtime's draw order so a seed names the same problem on
+    // both substrates.
+    stats::Rng rng(config.seed);
+    TrainingWorkload workload;
+    build_workload(config, rng, workload);
+    auto scheme = core::SchemeRegistry::instance().create(
+        config.scheme,
+        scheme_config(config, /*default_seed_first_batches=*/true), rng);
+    record.scheme_display = std::string(scheme->name());
+
+    engine::SimulatedProvider provider(*scheme, *workload.source, cluster,
+                                       rng);
+    engine::TrainingEngine protocol(*scheme, *workload.source, provider);
+    auto optimizer = make_optimizer(config);
+    engine::TrainReport report =
+        protocol.train(*optimizer, engine_options(config, workload));
+
+    fill_convergence_fields(report, workload, record);
+    record.comm_time = report.comm_seconds;
+    record.compute_time = report.compute_seconds;
+    record.loss_history = std::move(report.loss_history);
+    return record;
+  }
+
   stats::Rng rng(config.seed);
   auto scheme = core::SchemeRegistry::instance().create(
       config.scheme, scheme_config(config, /*default_seed_first_batches=*/false),
       rng);
   record.scheme_display = std::string(scheme->name());
 
-  // The footgun fix: a caller-supplied cluster model (e.g. from
-  // config_from_sim_scenario) wins over the named scenario's.
-  const simulate::ClusterConfig& cluster =
-      config.cluster_override ? *config.cluster_override : scenario.cluster;
   simulate::RunOptions options;
   options.iterations = config.iterations;
   options.record_trace = config.record_trace;
@@ -79,6 +211,7 @@ RunRecord SimulatedRuntime::run(const ExperimentConfig& config) const {
   record.total_time = run.total_time;
   record.mean_units = run.units_received.mean();
   record.failures = run.failures;
+  record.iterations_run = config.iterations;
   return record;
 }
 
@@ -98,16 +231,8 @@ RunRecord ThreadedRuntime::run(const ExperimentConfig& config) const {
   RunRecord record = identity_record(config, name());
 
   stats::Rng rng(config.seed);
-
-  // Synthetic logistic-regression workload: m units of `examples_per_unit`
-  // points each ("super examples", footnote 1 of the paper).
-  const std::size_t num_examples = config.num_units * config.examples_per_unit;
-  data::SyntheticConfig dconf;
-  dconf.num_features = config.features;
-  const auto problem = data::generate_logreg(num_examples, dconf, rng);
-  data::BatchPartition partition(num_examples, config.examples_per_unit);
-  COUPON_ASSERT(partition.num_batches() == config.num_units);
-  core::GroupedBatchSource source(problem.dataset, partition);
+  TrainingWorkload workload;
+  build_workload(config, rng, workload);
 
   // Seeded first batches (by default) guarantee per-iteration BCC
   // coverage, matching the quickstart's real-training setup.
@@ -116,25 +241,18 @@ RunRecord ThreadedRuntime::run(const ExperimentConfig& config) const {
       rng);
   record.scheme_display = std::string(scheme->name());
 
-  runtime::ThreadCluster cluster(*scheme, source, config.seed + 42);
-  opt::NesterovGradient optimizer(
-      config.features,
-      opt::LearningRateSchedule::constant(config.learning_rate));
+  runtime::ThreadCluster cluster(*scheme, *workload.source, config.seed + 42);
+  auto optimizer = make_optimizer(config);
 
   runtime::TrainOptions options;
-  options.iterations = config.iterations;
+  static_cast<engine::TrainOptions&>(options) =
+      engine_options(config, workload);
   options.straggler = scenario.straggler;
-  options.on_failure = config.on_failure;
 
-  const auto run = cluster.train(optimizer, options);
+  engine::TrainReport report = cluster.train(*optimizer, options);
 
-  record.recovery_threshold = run.workers_heard.mean();
-  record.total_time = run.wall_seconds;
-  record.mean_units = run.units_received.mean();
-  record.failures = run.failed_iterations;
-  record.partial_iterations = run.partial_iterations;
-  record.final_loss = opt::logistic_loss(problem.dataset, run.weights);
-  record.train_accuracy = opt::accuracy(problem.dataset, run.weights);
+  fill_convergence_fields(report, workload, record);
+  record.loss_history = std::move(report.loss_history);
   return record;
 }
 

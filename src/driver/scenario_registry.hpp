@@ -21,8 +21,8 @@
 #include <string_view>
 #include <vector>
 
-#include "runtime/thread_cluster.hpp"
-#include "simulate/cluster_sim.hpp"
+#include "runtime/straggler.hpp"
+#include "simulate/cluster_config.hpp"
 
 namespace coupon::driver {
 

@@ -1,0 +1,68 @@
+#include "engine/simulated_provider.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace coupon::engine {
+
+SimulatedProvider::SimulatedProvider(const core::Scheme& scheme,
+                                     const core::UnitGradientSource& source,
+                                     simulate::ClusterConfig cluster,
+                                     stats::Rng& rng)
+    : scheme_(scheme),
+      source_(source),
+      cluster_(std::move(cluster)),
+      rng_(rng),
+      model_(simulate::make_latency_model(cluster_, scheme.num_workers())),
+      kernel_(scheme, cluster_) {
+  COUPON_ASSERT(source.num_units() == scheme.num_units());
+}
+
+void SimulatedProvider::begin_iteration(std::size_t iteration,
+                                        std::span<const double> w) {
+  w_ = w;
+  arrivals_ = kernel_.draw_arrivals(*model_, iteration, rng_);
+  cursor_ = 0;
+  ingress_free_at_ = 0.0;
+  max_compute_ = 0.0;
+  any_consumed_ = false;
+}
+
+bool SimulatedProvider::next_arrival(ArrivalView& out) {
+  if (cursor_ == arrivals_.size()) {
+    return false;
+  }
+  const auto& arrival = arrivals_[cursor_++];
+
+  // The kernel's ingress recurrence: the message waits for the serialized
+  // link, then occupies it for its service time. The busy-until after the
+  // last consumed message is the iteration's completion time.
+  const double start = std::max(arrival.time, ingress_free_at_);
+  ingress_free_at_ = start + kernel_.service_seconds(arrival.worker);
+  max_compute_ = std::max(max_compute_, arrival.compute);
+  any_consumed_ = true;
+
+  // The real worker computation, evaluated only for messages the master
+  // actually sits through — exactly the work a physical cluster performs
+  // before the collector becomes ready.
+  message_ = scheme_.encode(arrival.worker, source_, w_);
+  out.worker = arrival.worker;
+  out.meta = message_.meta;
+  out.payload = message_.payload;
+  return true;
+}
+
+IterationTiming SimulatedProvider::end_iteration() {
+  IterationTiming timing;
+  // Mirrors IterationKernel::run's accounting: completion is the last
+  // ingress busy-until (0.0 when every message was dropped and nothing
+  // arrived); computation is the max compute among consumed arrivals,
+  // communication the remainder.
+  timing.total_seconds = any_consumed_ ? ingress_free_at_ : 0.0;
+  timing.compute_seconds = max_compute_;
+  return timing;
+}
+
+}  // namespace coupon::engine

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file simulated_provider.hpp
+/// Simulated-time `IterationProvider`: the paper's convergence
+/// experiments at simulator speed (DESIGN.md §8).
+///
+/// Couples the allocation-free `IterationKernel`'s arrival order and
+/// master-ingress timing (simulate/cluster_sim.hpp) with *real*
+/// gradients from a `UnitGradientSource`: each iteration the provider
+/// draws the kernel's (drop, compute-time) schedule, then lazily encodes
+/// a worker's true message — `scheme.encode(worker, source, w)` — only
+/// when the engine actually consumes that arrival. The ingress scan is
+/// the kernel's: each message waits for the serialized master link,
+/// occupies it for its service time, and the iteration ends at the
+/// recovery (or drain) completion.
+///
+/// Timing is therefore bit-identical to a timing-only `simulate_run` of
+/// the same (scheme, cluster, seed) — the RNG draw order is the
+/// kernel's — while the weights evolve exactly as the threaded runtime's
+/// would under the same arrival order. A seed fully determines the
+/// loss-vs-simulated-seconds curve.
+
+#include <span>
+#include <vector>
+
+#include "comm/message.hpp"
+#include "core/gradient_source.hpp"
+#include "core/scheme.hpp"
+#include "engine/training_engine.hpp"
+#include "simulate/cluster_sim.hpp"
+#include "stats/rng.hpp"
+
+namespace coupon::engine {
+
+/// Drives training over simulated time. One instance serves one run; the
+/// scheme, source, cluster config, and rng must outlive it.
+class SimulatedProvider final : public IterationProvider {
+ public:
+  /// Validates `cluster` (via make_latency_model) and builds the run's
+  /// latency-model instance, so stateful models (Markov, trace replay)
+  /// keep their cross-iteration state for the whole run. The config is
+  /// copied, so a temporary is fine; scheme/source/rng are referenced
+  /// and must outlive the provider.
+  SimulatedProvider(const core::Scheme& scheme,
+                    const core::UnitGradientSource& source,
+                    simulate::ClusterConfig cluster, stats::Rng& rng);
+
+  void begin_iteration(std::size_t iteration,
+                       std::span<const double> w) override;
+  bool next_arrival(ArrivalView& out) override;
+  IterationTiming end_iteration() override;
+
+ private:
+  const core::Scheme& scheme_;
+  const core::UnitGradientSource& source_;
+  const simulate::ClusterConfig cluster_;  ///< owned: kernel_ references it
+  stats::Rng& rng_;
+  std::unique_ptr<simulate::LatencyModel> model_;
+  simulate::IterationKernel kernel_;
+
+  // Per-iteration state.
+  std::span<const double> w_;  ///< query point, valid through the iteration
+  std::span<const simulate::IterationKernel::Arrival> arrivals_;
+  std::size_t cursor_ = 0;        ///< next arrival to hand out
+  double ingress_free_at_ = 0.0;  ///< the serialized link's busy-until
+  double max_compute_ = 0.0;      ///< max compute among consumed arrivals
+  bool any_consumed_ = false;
+  comm::Message message_;  ///< the last encoded message (view storage)
+};
+
+}  // namespace coupon::engine

@@ -1,0 +1,112 @@
+#include "engine/training_engine.hpp"
+
+#include "linalg/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace coupon::engine {
+
+TrainingEngine::TrainingEngine(const core::Scheme& scheme,
+                               const core::UnitGradientSource& source,
+                               IterationProvider& provider)
+    : scheme_(scheme),
+      source_(source),
+      provider_(provider),
+      collector_(scheme.make_collector()) {
+  COUPON_ASSERT(source.num_units() == scheme.num_units());
+}
+
+TrainReport TrainingEngine::train(opt::IterativeOptimizer& optimizer,
+                                  const TrainOptions& options) {
+  const std::size_t dim = source_.dim();
+  COUPON_ASSERT(optimizer.weights().size() == dim);
+  COUPON_ASSERT_MSG(!options.record_loss_history || options.loss_fn,
+                    "record_loss_history requires a loss_fn");
+  COUPON_ASSERT_MSG(!options.target_loss || options.loss_fn,
+                    "target_loss requires a loss_fn");
+
+  TrainReport report;
+  std::vector<double> grad(dim);
+
+  for (std::size_t t = 0; t < options.iterations; ++t) {
+    collector_->reset();
+    provider_.begin_iteration(t, optimizer.query_point());
+
+    ArrivalView arrival;
+    while (!collector_->ready() && provider_.next_arrival(arrival)) {
+      collector_->offer(arrival.worker, arrival.meta, arrival.payload);
+    }
+    const IterationTiming timing = provider_.end_iteration();
+    report.elapsed_seconds += timing.total_seconds;
+    report.compute_seconds += timing.compute_seconds;
+    report.comm_seconds += timing.total_seconds - timing.compute_seconds;
+    ++report.iterations_run;
+
+    report.workers_heard.add(
+        static_cast<double>(collector_->workers_heard()));
+    report.units_received.add(collector_->units_received());
+
+    bool applied = false;
+    if (collector_->ready()) {
+      collector_->decode_sum(grad);
+      linalg::scal(1.0 / static_cast<double>(source_.num_examples()), grad);
+      optimizer.apply_gradient(grad);
+      applied = true;
+    } else if (options.on_failure == FailurePolicy::kApplyPartial &&
+               collector_->supports_partial_decode()) {
+      const std::size_t covered = collector_->decode_partial_sum(grad);
+      if (covered > 0) {
+        // Mean-gradient estimate: the partial sum spans `covered` of
+        // num_units units, i.e. about num_examples * covered/num_units
+        // underlying examples.
+        const double covered_examples =
+            static_cast<double>(source_.num_examples()) *
+            static_cast<double>(covered) /
+            static_cast<double>(source_.num_units());
+        linalg::scal(1.0 / covered_examples, grad);
+        optimizer.apply_gradient(grad);
+        ++report.partial_iterations;
+        applied = true;
+      }
+    }
+    if (!applied && !collector_->ready()) {
+      ++report.failed_iterations;
+    }
+
+    // Per-iteration loss evaluation costs a full-dataset pass — do it
+    // only when a consumer asked for the curve or the target crossing;
+    // final_loss alone is computed once, after the loop.
+    if (options.loss_fn &&
+        (options.record_loss_history || options.target_loss)) {
+      const double loss = options.loss_fn(optimizer.weights());
+      if (options.record_loss_history) {
+        report.loss_history.push_back({report.elapsed_seconds, loss});
+      }
+      if (options.target_loss && !report.time_to_target &&
+          loss <= *options.target_loss) {
+        report.time_to_target = report.elapsed_seconds;
+        if (options.stop_at_target) {
+          break;
+        }
+      }
+    }
+  }
+
+  auto w = optimizer.weights();
+  report.weights.assign(w.begin(), w.end());
+  if (options.loss_fn) {
+    report.final_loss = options.loss_fn(report.weights);
+  }
+  return report;
+}
+
+opt::GradientOracle reference_oracle(const core::UnitGradientSource& source) {
+  return [&source](std::span<const double> w, std::span<double> grad) {
+    linalg::fill(grad, 0.0);
+    for (std::size_t unit = 0; unit < source.num_units(); ++unit) {
+      source.accumulate_unit_gradient(unit, w, grad);
+    }
+    linalg::scal(1.0 / static_cast<double>(source.num_examples()), grad);
+  };
+}
+
+}  // namespace coupon::engine

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file types.hpp
+/// Small, dependency-free engine vocabulary types. Split out of
+/// training_engine.hpp so configuration layers (driver/
+/// experiment_config.hpp) can name them without pulling the scheme /
+/// optimizer / simulator headers the engine itself needs.
+
+namespace coupon::engine {
+
+/// What the master does when an iteration cannot be fully recovered
+/// (e.g. a BCC placement that misses a batch at small n).
+enum class FailurePolicy {
+  /// Drop the iteration entirely — the paper's implicit behaviour.
+  kSkipUpdate,
+  /// Apply the covered-so-far gradient rescaled to a mean-gradient
+  /// estimate (the "ignoring stragglers" approximation; library
+  /// extension). Falls back to skipping for schemes without partial
+  /// decoding (CR) or when nothing was covered.
+  kApplyPartial,
+};
+
+/// One point of a loss-vs-time convergence curve: the loss of the
+/// current iterate, stamped with the run's elapsed seconds (wall-clock
+/// on the threaded provider, simulated seconds on the simulated one).
+struct LossPoint {
+  double seconds = 0.0;
+  double loss = 0.0;
+};
+
+}  // namespace coupon::engine

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file straggler.hpp
+/// Straggler-injection knobs of the threaded runtime, split out of
+/// thread_cluster.hpp so scenario-description layers can name them
+/// without pulling threads/network headers.
+
+namespace coupon::runtime {
+
+/// Artificial worker slowdowns: each iteration a worker sleeps a
+/// shift-exponential time (Eq. 15 scaled to milliseconds) before sending.
+struct StragglerInjection {
+  bool enabled = false;
+  double shift_ms_per_unit = 0.0;  ///< a, in ms per unit of load
+  double straggle = 1.0;           ///< mu (tail scale = load/mu ms)
+};
+
+}  // namespace coupon::runtime

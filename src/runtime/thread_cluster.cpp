@@ -2,7 +2,6 @@
 
 #include <chrono>
 
-#include "linalg/vector_ops.hpp"
 #include "stats/distributions.hpp"
 #include "stats/rng.hpp"
 #include "util/assert.hpp"
@@ -11,8 +10,79 @@
 namespace coupon::runtime {
 
 namespace {
+
 constexpr std::size_t kMasterRank = 0;
-}
+
+/// Wall-clock `IterationProvider` over the in-process network: broadcast
+/// on begin_iteration, then surface gradient replies in mailbox-arrival
+/// order until all n workers of the iteration are accounted for. Replies
+/// left unconsumed when the engine stops early (collector ready) are
+/// skipped as stale by the next iteration's tag check.
+///
+/// Timing: end_iteration returns the wall time since the previous
+/// end_iteration (or since construction, i.e. train start), so the
+/// master-side work between iterations — decode, optimizer step, loss
+/// evaluation — stays on the clock, as the pre-engine whole-run timer
+/// had it. The summed report therefore spans train start to the last
+/// collection, charged to the iteration that followed the work.
+class ThreadedProvider final : public engine::IterationProvider {
+ public:
+  ThreadedProvider(comm::InProcNetwork& network, std::size_t num_workers)
+      : network_(network), num_workers_(num_workers) {}
+
+  void begin_iteration(std::size_t iteration,
+                       std::span<const double> w) override {
+    iteration_ = static_cast<std::int64_t>(iteration);
+    replies_this_iter_ = 0;
+    for (std::size_t i = 0; i < num_workers_; ++i) {
+      comm::Message broadcast;
+      broadcast.source = kMasterRank;
+      broadcast.dest = static_cast<std::int32_t>(i + 1);
+      broadcast.tag = comm::kTagModelBroadcast;
+      broadcast.iteration = iteration_;
+      broadcast.payload.assign(w.begin(), w.end());
+      network_.send(std::move(broadcast));
+    }
+  }
+
+  bool next_arrival(engine::ArrivalView& out) override {
+    while (replies_this_iter_ < num_workers_) {
+      auto msg = network_.recv(kMasterRank);
+      COUPON_ASSERT_MSG(msg.has_value(), "master mailbox closed mid-run");
+      COUPON_ASSERT(msg->tag == comm::kTagGradient);
+      if (msg->iteration != iteration_) {
+        continue;  // stale reply from an iteration the master left early
+      }
+      ++replies_this_iter_;
+      message_ = std::move(*msg);
+      out.worker = static_cast<std::size_t>(message_.source) - 1;
+      out.meta = message_.meta;
+      out.payload = message_.payload;
+      return true;
+    }
+    return false;
+  }
+
+  engine::IterationTiming end_iteration() override {
+    // Wall-clock phases are not separable on real threads: report the
+    // iteration total only (compute_seconds = 0 by convention).
+    const double now = timer_.seconds();
+    const double total = now - last_mark_;
+    last_mark_ = now;
+    return {.total_seconds = total, .compute_seconds = 0.0};
+  }
+
+ private:
+  comm::InProcNetwork& network_;
+  std::size_t num_workers_;
+  std::int64_t iteration_ = 0;
+  std::size_t replies_this_iter_ = 0;
+  comm::Message message_;  ///< the last delivered reply (view storage)
+  WallTimer timer_;        ///< started at construction (train start)
+  double last_mark_ = 0.0;
+};
+
+}  // namespace
 
 ThreadCluster::ThreadCluster(const core::Scheme& scheme,
                              const core::UnitGradientSource& source,
@@ -75,78 +145,13 @@ void ThreadCluster::worker_loop(std::size_t worker_index,
   }
 }
 
-TrainRunResult ThreadCluster::train(opt::IterativeOptimizer& optimizer,
-                                    const TrainOptions& options) {
+engine::TrainReport ThreadCluster::train(opt::IterativeOptimizer& optimizer,
+                                         const TrainOptions& options) {
   straggler_ = options.straggler;
-  const std::size_t n = scheme_.num_workers();
-  const std::size_t dim = source_.dim();
-  COUPON_ASSERT(optimizer.weights().size() == dim);
 
-  TrainRunResult result;
-  WallTimer timer;
-  std::vector<double> grad(dim);
-
-  for (std::size_t t = 0; t < options.iterations; ++t) {
-    const auto query = optimizer.query_point();
-    for (std::size_t i = 0; i < n; ++i) {
-      comm::Message broadcast;
-      broadcast.source = kMasterRank;
-      broadcast.dest = static_cast<std::int32_t>(i + 1);
-      broadcast.tag = comm::kTagModelBroadcast;
-      broadcast.iteration = static_cast<std::int64_t>(t);
-      broadcast.payload.assign(query.begin(), query.end());
-      network_.send(std::move(broadcast));
-    }
-
-    auto collector = scheme_.make_collector();
-    std::size_t replies_this_iter = 0;
-    while (!collector->ready() && replies_this_iter < n) {
-      auto msg = network_.recv(kMasterRank);
-      COUPON_ASSERT_MSG(msg.has_value(), "master mailbox closed mid-run");
-      COUPON_ASSERT(msg->tag == comm::kTagGradient);
-      if (msg->iteration != static_cast<std::int64_t>(t)) {
-        continue;  // stale reply from an iteration the master left early
-      }
-      ++replies_this_iter;
-      collector->offer(static_cast<std::size_t>(msg->source) - 1, msg->meta,
-                       msg->payload);
-    }
-
-    result.workers_heard.add(
-        static_cast<double>(collector->workers_heard()));
-    result.units_received.add(collector->units_received());
-
-    if (!collector->ready()) {
-      // Coverage failure (all n replies consumed).
-      if (options.on_failure == FailurePolicy::kApplyPartial &&
-          collector->supports_partial_decode()) {
-        const std::size_t covered = collector->decode_partial_sum(grad);
-        if (covered > 0) {
-          // Mean-gradient estimate: the partial sum spans `covered` of
-          // num_units units, i.e. about num_examples * covered/num_units
-          // underlying examples.
-          const double covered_examples =
-              static_cast<double>(source_.num_examples()) *
-              static_cast<double>(covered) /
-              static_cast<double>(source_.num_units());
-          linalg::scal(1.0 / covered_examples, grad);
-          optimizer.apply_gradient(grad);
-          ++result.partial_iterations;
-          continue;
-        }
-      }
-      ++result.failed_iterations;
-      continue;
-    }
-    collector->decode_sum(grad);
-    linalg::scal(1.0 / static_cast<double>(source_.num_examples()), grad);
-    optimizer.apply_gradient(grad);
-  }
-
-  auto w = optimizer.weights();
-  result.weights.assign(w.begin(), w.end());
-  result.wall_seconds = timer.seconds();
-  return result;
+  ThreadedProvider provider(network_, scheme_.num_workers());
+  engine::TrainingEngine protocol(scheme_, source_, provider);
+  return protocol.train(optimizer, options);  // the engine::TrainOptions base
 }
 
 }  // namespace coupon::runtime

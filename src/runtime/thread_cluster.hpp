@@ -5,12 +5,16 @@
 ///
 /// This is the MPI-substitute execution path (DESIGN.md §2): rank 0
 /// (the calling thread) is the master, ranks 1..n are worker threads.
-/// Each iteration the master broadcasts the optimizer's query point,
-/// every worker computes its scheme-encoded gradient message on its
-/// locally "stored" data and ships it back, and the master feeds arrivals
-/// to the scheme's Collector until it is ready — exactly the protocol of
-/// the paper's EC2 implementation, with optional injected straggler
-/// delays standing in for t2.micro latency variance.
+/// Each iteration every worker computes its scheme-encoded gradient
+/// message on its locally "stored" data and ships it back, with optional
+/// injected straggler delays standing in for t2.micro latency variance.
+///
+/// The master-side iteration protocol itself (broadcast → collect →
+/// failure policy → optimizer step → loss tracking) lives in the shared
+/// `engine::TrainingEngine` (engine/training_engine.hpp); this class is
+/// only the transport + worker-compute provider under it. The simulated
+/// provider (engine/simulated_provider.hpp) runs the identical protocol
+/// over simulated time.
 
 #include <cstdint>
 #include <thread>
@@ -19,46 +23,19 @@
 #include "comm/network.hpp"
 #include "core/gradient_source.hpp"
 #include "core/scheme.hpp"
+#include "engine/training_engine.hpp"
 #include "opt/optimizer.hpp"
-#include "stats/summary.hpp"
+#include "runtime/straggler.hpp"
 
 namespace coupon::runtime {
 
-/// Artificial worker slowdowns: each iteration a worker sleeps a
-/// shift-exponential time (Eq. 15 scaled to milliseconds) before sending.
-struct StragglerInjection {
-  bool enabled = false;
-  double shift_ms_per_unit = 0.0;  ///< a, in ms per unit of load
-  double straggle = 1.0;           ///< mu (tail scale = load/mu ms)
-};
+using engine::FailurePolicy;
 
-/// What the master does when an iteration cannot be fully recovered
-/// (e.g. a BCC placement that misses a batch at small n).
-enum class FailurePolicy {
-  /// Drop the iteration entirely — the paper's implicit behaviour.
-  kSkipUpdate,
-  /// Apply the covered-so-far gradient rescaled to a mean-gradient
-  /// estimate (the "ignoring stragglers" approximation; library
-  /// extension). Falls back to skipping for schemes without partial
-  /// decoding (CR) or when nothing was covered.
-  kApplyPartial,
-};
-
-/// Training-run parameters.
-struct TrainOptions {
-  std::size_t iterations = 10;
+/// Training-run parameters: the engine's master-side options (inherited
+/// verbatim — iterations, on_failure, loss tracking) plus the threaded
+/// runtime's worker-delay injection.
+struct TrainOptions : engine::TrainOptions {
   StragglerInjection straggler;
-  FailurePolicy on_failure = FailurePolicy::kSkipUpdate;
-};
-
-/// Result of a distributed training run.
-struct TrainRunResult {
-  std::vector<double> weights;        ///< final model w_T
-  stats::OnlineStats workers_heard;   ///< per-iteration K samples
-  stats::OnlineStats units_received;  ///< per-iteration L samples
-  double wall_seconds = 0.0;
-  std::size_t failed_iterations = 0;  ///< coverage failures (update skipped)
-  std::size_t partial_iterations = 0; ///< updates applied from partial sums
 };
 
 /// A master plus `n` worker threads bound to one scheme and one dataset.
@@ -81,9 +58,10 @@ class ThreadCluster {
 
   /// Runs synchronous distributed GD for `options.iterations` iterations,
   /// driving `optimizer` (master-side). On a coverage failure (possible
-  /// for BCC with small n) the iteration's update is skipped and counted.
-  TrainRunResult train(opt::IterativeOptimizer& optimizer,
-                       const TrainOptions& options);
+  /// for BCC with small n) the iteration is resolved per
+  /// `options.on_failure`. `TrainReport::elapsed_seconds` is wall-clock.
+  engine::TrainReport train(opt::IterativeOptimizer& optimizer,
+                            const TrainOptions& options);
 
  private:
   void worker_loop(std::size_t worker_index, std::uint64_t seed);

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file cluster_config.hpp
+/// Latency parameters of the simulated cluster (`ClusterConfig`), split
+/// out of cluster_sim.hpp so scenario/driver layers that only *describe*
+/// clusters need not rebuild when the simulation engine changes.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "simulate/latency_model.hpp"
+
+namespace coupon::simulate {
+
+/// Latency parameters of the simulated cluster.
+struct ClusterConfig {
+  /// Seconds of deterministic compute per unit of load (a in Eq. 15).
+  double compute_shift = 1e-3;
+  /// Straggle parameter (mu in Eq. 15); the exponential tail of a
+  /// worker's compute time has scale load/mu.
+  double compute_straggle = 1.0;
+  /// Master ingress service seconds per gradient unit received.
+  double unit_transfer_seconds = 3e-3;
+  /// Fixed model-broadcast latency at the start of each iteration.
+  double broadcast_seconds = 0.0;
+  /// Probability that a worker's message is lost this iteration (worker
+  /// crash / packet drop). Independent across workers and iterations.
+  /// Wait-for-all schemes fail the iteration on any loss; BCC/FR only
+  /// fail when every replica of some batch/block is lost.
+  double drop_probability = 0.0;
+  /// Optional per-worker latency profiles (heterogeneous cluster). When
+  /// non-empty, must have exactly one entry per worker and overrides the
+  /// homogeneous compute_shift/compute_straggle above.
+  std::vector<WorkerLatency> worker_overrides;
+  /// Optional compute-latency law. When set, each run builds a fresh
+  /// model from this factory and the shift/straggle/override fields above
+  /// are ignored; when empty (the default) the simulator uses
+  /// `ShiftedExpModel` built from those fields — the paper's Eq. 15,
+  /// bit-identical to the pre-refactor behaviour.
+  LatencyModelFactory latency_model;
+};
+
+/// Validates the cluster knobs for an `num_workers`-worker simulation:
+/// compute_shift/broadcast_seconds/unit_transfer_seconds >= 0,
+/// compute_straggle > 0, drop_probability in [0, 1], and worker_overrides
+/// empty or exactly one valid entry per worker. Throws
+/// coupon::AssertionError with the offending knob and value instead of
+/// letting a bad config silently produce NaN or degenerate traces.
+/// Called by simulate_iteration/simulate_run on entry.
+void validate_cluster_config(const ClusterConfig& config,
+                             std::size_t num_workers);
+
+/// Builds the run's latency model: `config.latency_model(num_workers)`
+/// when set, otherwise the default `ShiftedExpModel` over the config's
+/// shift/straggle/override fields.
+std::unique_ptr<LatencyModel> make_latency_model(const ClusterConfig& config,
+                                                 std::size_t num_workers);
+
+}  // namespace coupon::simulate

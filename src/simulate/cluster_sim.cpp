@@ -68,10 +68,9 @@ IterationKernel::IterationKernel(const core::Scheme& scheme,
   arrivals_.reserve(n);
 }
 
-IterationReport IterationKernel::run(LatencyModel& model,
-                                     std::size_t iteration, stats::Rng& rng) {
+std::span<const IterationKernel::Arrival> IterationKernel::draw_arrivals(
+    LatencyModel& model, std::size_t iteration, stats::Rng& rng) {
   const std::size_t n = scheme_.num_workers();
-  collector_->reset();
   arrivals_.clear();
 
   // Stateful models advance here, before any drop/latency draw.
@@ -110,6 +109,13 @@ IterationReport IterationKernel::run(LatencyModel& model,
               }
               return a.worker < b.worker;
             });
+  return arrivals_;
+}
+
+IterationReport IterationKernel::run(LatencyModel& model,
+                                     std::size_t iteration, stats::Rng& rng) {
+  collector_->reset();
+  draw_arrivals(model, iteration, rng);
 
   // Ingress phase — the serialized master link is a FIFO: each arrival
   // waits for the link, occupies it for its service time, and the fully

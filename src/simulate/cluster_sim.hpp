@@ -38,70 +38,18 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/scheme.hpp"
+#include "simulate/cluster_config.hpp"
 #include "simulate/event_queue.hpp"
+#include "simulate/iteration_report.hpp"
 #include "simulate/latency_model.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
 
 namespace coupon::simulate {
-
-/// Latency parameters of the simulated cluster.
-struct ClusterConfig {
-  /// Seconds of deterministic compute per unit of load (a in Eq. 15).
-  double compute_shift = 1e-3;
-  /// Straggle parameter (mu in Eq. 15); the exponential tail of a
-  /// worker's compute time has scale load/mu.
-  double compute_straggle = 1.0;
-  /// Master ingress service seconds per gradient unit received.
-  double unit_transfer_seconds = 3e-3;
-  /// Fixed model-broadcast latency at the start of each iteration.
-  double broadcast_seconds = 0.0;
-  /// Probability that a worker's message is lost this iteration (worker
-  /// crash / packet drop). Independent across workers and iterations.
-  /// Wait-for-all schemes fail the iteration on any loss; BCC/FR only
-  /// fail when every replica of some batch/block is lost.
-  double drop_probability = 0.0;
-  /// Optional per-worker latency profiles (heterogeneous cluster). When
-  /// non-empty, must have exactly one entry per worker and overrides the
-  /// homogeneous compute_shift/compute_straggle above.
-  std::vector<WorkerLatency> worker_overrides;
-  /// Optional compute-latency law. When set, each run builds a fresh
-  /// model from this factory and the shift/straggle/override fields above
-  /// are ignored; when empty (the default) the simulator uses
-  /// `ShiftedExpModel` built from those fields — the paper's Eq. 15,
-  /// bit-identical to the pre-refactor behaviour.
-  LatencyModelFactory latency_model;
-};
-
-/// Validates the cluster knobs for an `num_workers`-worker simulation:
-/// compute_shift/broadcast_seconds/unit_transfer_seconds >= 0,
-/// compute_straggle > 0, drop_probability in [0, 1], and worker_overrides
-/// empty or exactly one valid entry per worker. Throws
-/// coupon::AssertionError with the offending knob and value instead of
-/// letting a bad config silently produce NaN or degenerate traces.
-/// Called by simulate_iteration/simulate_run on entry.
-void validate_cluster_config(const ClusterConfig& config,
-                             std::size_t num_workers);
-
-/// Builds the run's latency model: `config.latency_model(num_workers)`
-/// when set, otherwise the default `ShiftedExpModel` over the config's
-/// shift/straggle/override fields.
-std::unique_ptr<LatencyModel> make_latency_model(const ClusterConfig& config,
-                                                 std::size_t num_workers);
-
-/// Outcome of a single simulated GD iteration.
-struct IterationReport {
-  double total_time = 0.0;
-  double compute_time = 0.0;  ///< max compute among workers heard in time
-  double comm_time = 0.0;     ///< total - compute
-  std::size_t workers_heard = 0;  ///< |W| (recovery threshold sample)
-  double units_received = 0.0;    ///< L sample
-  bool recovered = true;  ///< false if all n messages left the collector
-                          ///< unsatisfied (BCC coverage failure)
-};
 
 /// Aggregates over a multi-iteration run.
 struct RunReport {
@@ -149,6 +97,14 @@ struct RunOptions {
 /// have been validated (`make_latency_model` validates).
 class IterationKernel {
  public:
+  /// One master-side arrival: a worker's message reaching the ingress
+  /// link. Produced by `draw_arrivals` in completion order.
+  struct Arrival {
+    double time = 0.0;     ///< broadcast_seconds + compute
+    double compute = 0.0;  ///< the model draw (0 for unloaded workers)
+    std::size_t worker = 0;
+  };
+
   IterationKernel(const core::Scheme& scheme, const ClusterConfig& config);
 
   /// Simulates GD iteration `iteration`, drawing compute times from
@@ -157,13 +113,31 @@ class IterationKernel {
   IterationReport run(LatencyModel& model, std::size_t iteration,
                       stats::Rng& rng);
 
- private:
-  struct Arrival {
-    double time = 0.0;     ///< broadcast_seconds + compute
-    double compute = 0.0;  ///< the model draw (0 for unloaded workers)
-    std::size_t worker = 0;
-  };
+  /// The kernel's first two phases only: draws drops + compute times in
+  /// the historical per-worker RNG order and returns the iteration's
+  /// arrivals sorted by (time, worker) — the order the master observes
+  /// them. The view is valid until the next draw_arrivals/run call.
+  /// Used by the training engine's simulated provider, which couples
+  /// these arrival times with real gradient payloads and runs the
+  /// ingress scan itself (engine/simulated_provider.hpp); `run` stays
+  /// the timing-only fast path over the same draws.
+  std::span<const Arrival> draw_arrivals(LatencyModel& model,
+                                         std::size_t iteration,
+                                         stats::Rng& rng);
 
+  /// Master-ingress occupancy of worker `i`'s message, in seconds
+  /// (message_units(i) * unit_transfer_seconds, precomputed per run).
+  double service_seconds(std::size_t worker) const {
+    return service_seconds_[worker];
+  }
+
+  /// Worker `i`'s message metadata (scheme.message_meta(i), precomputed
+  /// per run).
+  std::span<const std::int64_t> meta(std::size_t worker) const {
+    return metas_[worker];
+  }
+
+ private:
   const core::Scheme& scheme_;
   const ClusterConfig& config_;
   std::unique_ptr<core::Collector> collector_;  ///< reset() per iteration

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "core/scheme_registry.hpp"
 #include "util/assert.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -43,20 +44,20 @@ ScenarioConfig ec2_scenario_two() {
 
 std::vector<SchemeRunRow> run_scenario(
     const ScenarioConfig& scenario,
-    const std::vector<core::SchemeKind>& kinds) {
-  COUPON_ASSERT(!kinds.empty());
+    const std::vector<std::string>& scheme_names) {
+  COUPON_ASSERT(!scheme_names.empty());
   std::vector<SchemeRunRow> rows;
-  rows.reserve(kinds.size());
+  rows.reserve(scheme_names.size());
 
   stats::Rng root(scenario.seed);
-  for (core::SchemeKind kind : kinds) {
+  for (const std::string& name : scheme_names) {
     stats::Rng rng = root.split();  // disjoint stream per scheme
 
     core::SchemeConfig config;
     config.num_workers = scenario.num_workers;
     config.num_units = scenario.num_units;
     config.load = scenario.load;
-    auto scheme = core::make_scheme(kind, config, rng);
+    auto scheme = core::SchemeRegistry::instance().create(name, config, rng);
 
     // Summary-only harness: the rows below read aggregates, never the
     // per-iteration trace, so run without recording one.
@@ -67,7 +68,7 @@ std::vector<SchemeRunRow> run_scenario(
         simulate_run(*scheme, scenario.cluster, options, rng);
 
     SchemeRunRow row;
-    row.kind = kind;
+    row.scheme_name = std::string(scheme->registry_name());
     row.scheme = std::string(scheme->name());
     row.recovery_threshold = run.workers_heard.mean();
     row.comm_time = run.total_comm_time;

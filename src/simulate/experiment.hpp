@@ -48,8 +48,8 @@ ScenarioConfig ec2_scenario_two();
 
 /// One Table I/II row.
 struct SchemeRunRow {
-  core::SchemeKind kind;
-  std::string scheme;
+  std::string scheme_name;  ///< SchemeRegistry name, e.g. "bcc"
+  std::string scheme;       ///< display name, e.g. "BCC"
   double recovery_threshold = 0.0;  ///< mean workers heard per iteration
   double comm_time = 0.0;           ///< total over the run, seconds
   double compute_time = 0.0;        ///< total over the run, seconds
@@ -58,12 +58,13 @@ struct SchemeRunRow {
   std::size_t failures = 0;         ///< unrecovered iterations
 };
 
-/// Runs each scheme through the scenario (fresh deterministic RNG stream
-/// per scheme, placement drawn once per run as in the paper's setup) and
-/// returns one row per scheme, in input order.
+/// Runs each scheme (by `core::SchemeRegistry` name) through the
+/// scenario (fresh deterministic RNG stream per scheme, placement drawn
+/// once per run as in the paper's setup) and returns one row per scheme,
+/// in input order.
 std::vector<SchemeRunRow> run_scenario(const ScenarioConfig& scenario,
-                                       const std::vector<core::SchemeKind>&
-                                           kinds);
+                                       const std::vector<std::string>&
+                                           scheme_names);
 
 /// Percentage speedup of `ours` over `baseline` in total running time
 /// (e.g. 0.854 means 85.4% faster, the paper's headline comparison).

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file iteration_report.hpp
+/// The per-iteration outcome record of the cluster simulator, split out
+/// of cluster_sim.hpp so result-carrying layers (driver/record.hpp) can
+/// depend on the report type without rebuilding on simulator-engine
+/// edits.
+
+#include <cstddef>
+
+namespace coupon::simulate {
+
+/// Outcome of a single simulated GD iteration.
+struct IterationReport {
+  double total_time = 0.0;
+  double compute_time = 0.0;  ///< max compute among workers heard in time
+  double comm_time = 0.0;     ///< total - compute
+  std::size_t workers_heard = 0;  ///< |W| (recovery threshold sample)
+  double units_received = 0.0;    ///< L sample
+  bool recovered = true;  ///< false if all n messages left the collector
+                          ///< unsatisfied (BCC coverage failure)
+};
+
+}  // namespace coupon::simulate

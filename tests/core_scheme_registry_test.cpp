@@ -1,6 +1,6 @@
 // Tests for the open scheme registry: built-in coverage, alias lookup,
-// duplicate rejection, unknown-name diagnostics, the single-call
-// extension contract, and the deprecated SchemeKind shim.
+// duplicate rejection, unknown-name diagnostics, and the single-call
+// extension contract.
 
 #include <gtest/gtest.h>
 
@@ -146,34 +146,37 @@ TEST(SchemeRegistry, SingleRegistrationCallAddsARunnableScheme) {
   stats::Rng rng(5);
   auto scheme = registry.create("test_uc", small_config(4, 6, 1), rng);
   ASSERT_NE(scheme, nullptr);
-  EXPECT_EQ(scheme->kind(), SchemeKind::kUncoded);
+  EXPECT_EQ(scheme->registry_name(), "uncoded");
   EXPECT_EQ(scheme->num_units(), 6u);
 }
 
-TEST(SchemeKindShim, RegistryNamesRoundTripThroughTheEnum) {
-  for (SchemeKind kind :
-       {SchemeKind::kUncoded, SchemeKind::kBcc, SchemeKind::kSimpleRandom,
-        SchemeKind::kCyclicRepetition, SchemeKind::kFractionalRepetition}) {
-    const auto name = scheme_registry_name(kind);
-    const SchemeEntry* entry = SchemeRegistry::instance().find(name);
+TEST(SchemeRegistry, RegistryNamesRoundTripThroughTheSchemes) {
+  // Every built-in instance reports the canonical name it was created
+  // under, so records and diagnostics can always map back to the entry.
+  for (const auto& name : SchemeRegistry::instance().names()) {
+    stats::Rng rng(11);
+    auto scheme = SchemeRegistry::instance().create(name, small_config(), rng);
+    EXPECT_EQ(scheme->registry_name(), name);
+    const SchemeEntry* entry =
+        SchemeRegistry::instance().find(scheme->registry_name());
     ASSERT_NE(entry, nullptr) << name;
     EXPECT_EQ(entry->name, name);
   }
 }
 
-TEST(SchemeKindShim, MakeSchemeMatchesRegistryCreate) {
-  // The deprecated entry point must draw the same randomness and build
-  // the same placement as a registry create with the same seed.
+TEST(SchemeRegistry, SameSeedSameDraws) {
+  // Creating the same scheme twice from the same seed builds the same
+  // placement (the factory draws all randomness from the passed rng).
   stats::Rng rng_a(11);
   stats::Rng rng_b(11);
   const auto config = small_config(10, 10, 3);
-  auto via_shim = make_scheme(SchemeKind::kBcc, config, rng_a);
-  auto via_registry = SchemeRegistry::instance().create("bcc", config, rng_b);
-  ASSERT_NE(via_shim, nullptr);
-  ASSERT_NE(via_registry, nullptr);
-  EXPECT_EQ(via_shim->kind(), via_registry->kind());
+  auto first = SchemeRegistry::instance().create("bcc", config, rng_a);
+  auto second = SchemeRegistry::instance().create("bcc", config, rng_b);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->registry_name(), second->registry_name());
   for (std::size_t w = 0; w < 10; ++w) {
-    EXPECT_EQ(via_shim->message_meta(w), via_registry->message_meta(w)) << w;
+    EXPECT_EQ(first->message_meta(w), second->message_meta(w)) << w;
   }
 }
 

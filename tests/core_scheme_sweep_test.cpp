@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <numeric>
 #include <tuple>
 
@@ -18,28 +20,13 @@
 namespace coupon::core {
 namespace {
 
-using Config = std::tuple<SchemeKind, std::size_t, std::size_t, std::size_t>;
+using Config = std::tuple<const char*, std::size_t, std::size_t, std::size_t>;
 
 std::string config_name(const ::testing::TestParamInfo<Config>& info) {
   const auto [kind, n, m, r] = info.param;
-  std::string name;
-  switch (kind) {
-    case SchemeKind::kUncoded:
-      name = "Uncoded";
-      break;
-    case SchemeKind::kBcc:
-      name = "Bcc";
-      break;
-    case SchemeKind::kSimpleRandom:
-      name = "SimpleRandom";
-      break;
-    case SchemeKind::kCyclicRepetition:
-      name = "Cr";
-      break;
-    case SchemeKind::kFractionalRepetition:
-      name = "Fr";
-      break;
-  }
+  std::string name = kind;
+  name.erase(std::remove(name.begin(), name.end(), '_'), name.end());
+  name[0] = static_cast<char>(std::toupper(name[0]));
   return name + "_n" + std::to_string(n) + "_m" + std::to_string(m) + "_r" +
          std::to_string(r);
 }
@@ -55,13 +42,13 @@ TEST_P(SchemeSweepTest, EndToEndDecodeIsExactAcrossConfigurations) {
   PerExampleSource source(problem.dataset);
 
   SchemeConfig config{n, m, r, true};
-  auto scheme = make_scheme(kind, config, rng);
+  auto scheme = SchemeRegistry::instance().create(kind, config, rng);
   // Random placements must cover before training can start; redraw as a
   // deployment would.
   for (int attempt = 0;
        attempt < 128 && !scheme->placement().covers_all_examples();
        ++attempt) {
-    scheme = make_scheme(kind, config, rng);
+    scheme = SchemeRegistry::instance().create(kind, config, rng);
   }
   ASSERT_TRUE(scheme->placement().covers_all_examples());
 
@@ -103,8 +90,8 @@ TEST_P(SchemeSweepTest, ComputationalLoadNeverExceedsConfiguredR) {
   const auto [kind, n, m, r] = GetParam();
   stats::Rng rng(2000 + 31 * n + 7 * m + r);
   SchemeConfig config{n, m, r, true};
-  auto scheme = make_scheme(kind, config, rng);
-  if (kind == SchemeKind::kUncoded) {
+  auto scheme = SchemeRegistry::instance().create(kind, config, rng);
+  if (std::string_view(kind) == "uncoded") {
     // Uncoded's load is ceil(m/n) by construction, independent of r.
     EXPECT_EQ(scheme->computational_load(), (m + n - 1) / n);
   } else {
@@ -117,9 +104,8 @@ TEST_P(SchemeSweepTest, ComputationalLoadNeverExceedsConfiguredR) {
 // r dividing n).
 std::vector<Config> square_configs() {
   std::vector<Config> configs;
-  for (SchemeKind kind :
-       {SchemeKind::kUncoded, SchemeKind::kBcc, SchemeKind::kSimpleRandom,
-        SchemeKind::kCyclicRepetition, SchemeKind::kFractionalRepetition}) {
+  for (const char* kind :
+       {"uncoded", "bcc", "simple_random", "cr", "fr"}) {
     for (std::size_t n : {8u, 12u, 24u}) {
       for (std::size_t r : {2u, 4u}) {
         configs.emplace_back(kind, n, n, r);
@@ -137,13 +123,13 @@ INSTANTIATE_TEST_SUITE_P(SquareConfigs, SchemeSweepTest,
 INSTANTIATE_TEST_SUITE_P(
     RectangularConfigs, SchemeSweepTest,
     ::testing::Values(
-        std::make_tuple(SchemeKind::kUncoded, 5u, 20u, 1u),
-        std::make_tuple(SchemeKind::kUncoded, 7u, 23u, 1u),
-        std::make_tuple(SchemeKind::kBcc, 30u, 10u, 3u),
-        std::make_tuple(SchemeKind::kBcc, 40u, 17u, 5u),
-        std::make_tuple(SchemeKind::kBcc, 16u, 64u, 16u),
-        std::make_tuple(SchemeKind::kSimpleRandom, 50u, 12u, 3u),
-        std::make_tuple(SchemeKind::kSimpleRandom, 25u, 9u, 4u)),
+        std::make_tuple("uncoded", 5u, 20u, 1u),
+        std::make_tuple("uncoded", 7u, 23u, 1u),
+        std::make_tuple("bcc", 30u, 10u, 3u),
+        std::make_tuple("bcc", 40u, 17u, 5u),
+        std::make_tuple("bcc", 16u, 64u, 16u),
+        std::make_tuple("simple_random", 50u, 12u, 3u),
+        std::make_tuple("simple_random", 25u, 9u, 4u)),
     config_name);
 
 }  // namespace

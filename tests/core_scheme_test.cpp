@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <numeric>
+#include <set>
 
 #include "core/core.hpp"
 #include "data/synthetic.hpp"
@@ -29,7 +31,7 @@ struct Fixture {
   std::vector<double> serial_sum;  // sum of all unit gradients at w
 };
 
-Fixture make_fixture(SchemeKind kind, std::uint64_t seed = 17) {
+Fixture make_fixture(const std::string& kind, std::uint64_t seed = 17) {
   Fixture f;
   stats::Rng rng(seed);
   data::SyntheticConfig dconf;
@@ -44,7 +46,7 @@ Fixture make_fixture(SchemeKind kind, std::uint64_t seed = 17) {
   // Guarantees per-iteration BCC coverage so the conformance tests are
   // deterministic; the randomized default is exercised in core_bcc_test.
   config.bcc_seed_first_batches = true;
-  f.scheme = make_scheme(kind, config, rng);
+  f.scheme = SchemeRegistry::instance().create(kind, config, rng);
 
   f.w.resize(kFeatures);
   for (auto& v : f.w) {
@@ -59,7 +61,8 @@ Fixture make_fixture(SchemeKind kind, std::uint64_t seed = 17) {
   return f;
 }
 
-class SchemeConformanceTest : public ::testing::TestWithParam<SchemeKind> {};
+class SchemeConformanceTest : public ::testing::TestWithParam<const char*> {
+};
 
 TEST_P(SchemeConformanceTest, PlacementCoversAllUnits) {
   const auto f = make_fixture(GetParam());
@@ -72,7 +75,7 @@ TEST_P(SchemeConformanceTest, ComputationalLoadRespectsConfig) {
   const auto f = make_fixture(GetParam());
   // Uncoded ignores `load` (disjoint split, load = ceil(m/n) = 1 here);
   // all other schemes must realize exactly r.
-  if (GetParam() == SchemeKind::kUncoded) {
+  if (std::string_view(GetParam()) == "uncoded") {
     EXPECT_EQ(f.scheme->computational_load(), kUnits / kWorkers);
   } else {
     EXPECT_EQ(f.scheme->computational_load(), kLoad);
@@ -166,60 +169,61 @@ TEST_P(SchemeConformanceTest, ExpectedRecoveryThresholdIsSane) {
   }
 }
 
-TEST_P(SchemeConformanceTest, SchemeNameIsStable) {
+TEST_P(SchemeConformanceTest, SchemeNamesAreStable) {
   const auto f = make_fixture(GetParam());
-  EXPECT_EQ(f.scheme->kind(), GetParam());
+  EXPECT_EQ(f.scheme->registry_name(), GetParam());
   EXPECT_FALSE(f.scheme->name().empty());
+  // The canonical name round-trips through the registry.
+  const auto* entry =
+      SchemeRegistry::instance().find(f.scheme->registry_name());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->name, f.scheme->registry_name());
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllSchemes, SchemeConformanceTest,
-    ::testing::Values(SchemeKind::kUncoded, SchemeKind::kBcc,
-                      SchemeKind::kSimpleRandom, SchemeKind::kCyclicRepetition,
-                      SchemeKind::kFractionalRepetition),
-    [](const ::testing::TestParamInfo<SchemeKind>& param_info) {
-      switch (param_info.param) {
-        case SchemeKind::kUncoded:
-          return std::string("Uncoded");
-        case SchemeKind::kBcc:
-          return std::string("Bcc");
-        case SchemeKind::kSimpleRandom:
-          return std::string("SimpleRandom");
-        case SchemeKind::kCyclicRepetition:
-          return std::string("CyclicRepetition");
-        case SchemeKind::kFractionalRepetition:
-          return std::string("FractionalRepetition");
+    ::testing::Values("uncoded", "bcc", "simple_random", "cr", "fr"),
+    [](const ::testing::TestParamInfo<const char*>& param_info) {
+      std::string name = param_info.param;
+      name[0] = static_cast<char>(std::toupper(name[0]));
+      const auto underscore = name.find('_');
+      if (underscore != std::string::npos) {
+        name.erase(underscore, 1);
+        name[underscore] = static_cast<char>(std::toupper(name[underscore]));
       }
-      return std::string("Unknown");
+      return name;
     });
 
-TEST(MakeScheme, RejectsDegenerateConfigs) {
+TEST(SchemeRegistryCreate, RejectsDegenerateConfigs) {
   stats::Rng rng(1);
   SchemeConfig config;  // zeros
-  EXPECT_THROW(make_scheme(SchemeKind::kUncoded, config, rng),
+  EXPECT_THROW(SchemeRegistry::instance().create("uncoded", config, rng),
                AssertionError);
 }
 
-TEST(MakeScheme, CrAndFrRequireSquareSetting) {
+TEST(SchemeRegistryCreate, CrAndFrRequireSquareSetting) {
   stats::Rng rng(1);
   SchemeConfig config;
   config.num_workers = 10;
   config.num_units = 20;  // != n
   config.load = 2;
-  EXPECT_THROW(make_scheme(SchemeKind::kCyclicRepetition, config, rng),
+  EXPECT_THROW(SchemeRegistry::instance().create("cr", config, rng),
                AssertionError);
-  EXPECT_THROW(make_scheme(SchemeKind::kFractionalRepetition, config, rng),
+  EXPECT_THROW(SchemeRegistry::instance().create("fr", config, rng),
                AssertionError);
 }
 
-TEST(SchemeKindName, AllNamesDistinct) {
-  std::set<std::string_view> names = {
-      scheme_kind_name(SchemeKind::kUncoded),
-      scheme_kind_name(SchemeKind::kBcc),
-      scheme_kind_name(SchemeKind::kSimpleRandom),
-      scheme_kind_name(SchemeKind::kCyclicRepetition),
-      scheme_kind_name(SchemeKind::kFractionalRepetition)};
-  EXPECT_EQ(names.size(), 5u);
+TEST(SchemeNames, DisplayAndRegistryNamesDistinctAcrossBuiltins) {
+  std::set<std::string> display_names, registry_names;
+  stats::Rng rng(1);
+  SchemeConfig config{12, 12, 3, true};
+  for (const auto& name : SchemeRegistry::instance().names()) {
+    auto scheme = SchemeRegistry::instance().create(name, config, rng);
+    display_names.emplace(scheme->name());
+    registry_names.emplace(scheme->registry_name());
+  }
+  EXPECT_EQ(display_names.size(), SchemeRegistry::instance().names().size());
+  EXPECT_EQ(registry_names.size(), SchemeRegistry::instance().names().size());
 }
 
 }  // namespace

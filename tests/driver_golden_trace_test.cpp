@@ -39,19 +39,45 @@ driver::SweepPlan golden_plan() {
   return plan;
 }
 
-std::string run_plan_to_jsonl(std::size_t threads) {
+/// The convergence golden: a small training sweep (real gradients over
+/// simulated time) captured from the engine that introduced the feature
+/// (`coupon_run --sweep --train --schemes bcc,uncoded --scenarios
+/// shifted_exp,no_stragglers --workers_axis 8 --loads 2 --iterations_axis
+/// 12 --seeds 5 --features 6 --examples_per_unit 4 --target_loss 0.6
+/// --loss_history --threads 1 --jsonl tests/golden/convergence_2x2.jsonl`).
+/// Pins the whole train path: synthetic data draw, placement, kernel
+/// arrival order, decode arithmetic, optimizer steps, loss rendering.
+driver::SweepPlan convergence_plan() {
+  driver::SweepPlan plan;
+  plan.base.train = true;
+  plan.base.record_trace = false;  // sweep mode runs trace-free
+  plan.base.record_loss_history = true;
+  plan.base.target_loss = 0.6;
+  plan.base.num_workers = 8;
+  plan.base.num_units = 8;
+  plan.base.load = 2;
+  plan.base.iterations = 12;
+  plan.base.seed = 5;
+  plan.base.features = 6;
+  plan.base.examples_per_unit = 4;
+  plan.schemes = {"bcc", "uncoded"};
+  plan.scenarios = {"shifted_exp", "no_stragglers"};
+  return plan;
+}
+
+std::string run_plan_to_jsonl(const driver::SweepPlan& plan,
+                              std::size_t threads) {
   std::ostringstream os;
   driver::JsonlSink sink(os);
   driver::SweepOptions options;
   options.threads = threads;
   options.sink = &sink;
-  driver::run_sweep(golden_plan(), options);
+  driver::run_sweep(plan, options);
   return os.str();
 }
 
-std::string read_golden() {
-  const std::string path =
-      std::string(COUPON_GOLDEN_DIR) + "/sweep_2x2.jsonl";
+std::string read_golden(const std::string& file) {
+  const std::string path = std::string(COUPON_GOLDEN_DIR) + "/" + file;
   std::ifstream in(path, std::ios::binary);
   EXPECT_TRUE(in.is_open()) << "missing golden file " << path;
   std::ostringstream os;
@@ -62,9 +88,9 @@ std::string read_golden() {
 }  // namespace
 
 TEST(GoldenTrace, SerialSweepIsByteIdenticalToTheCheckedInGolden) {
-  const std::string golden = read_golden();
+  const std::string golden = read_golden("sweep_2x2.jsonl");
   ASSERT_FALSE(golden.empty());
-  EXPECT_EQ(run_plan_to_jsonl(/*threads=*/1), golden)
+  EXPECT_EQ(run_plan_to_jsonl(golden_plan(), /*threads=*/1), golden)
       << "sweep output drifted from tests/golden/sweep_2x2.jsonl — the "
          "simulator's RNG draw sequence changed";
 }
@@ -72,5 +98,20 @@ TEST(GoldenTrace, SerialSweepIsByteIdenticalToTheCheckedInGolden) {
 TEST(GoldenTrace, ParallelSweepMatchesTheGoldenToo) {
   // The parallel path streams in cell order and seeds per cell, so it
   // must hit the same bytes.
-  EXPECT_EQ(run_plan_to_jsonl(/*threads=*/4), read_golden());
+  EXPECT_EQ(run_plan_to_jsonl(golden_plan(), /*threads=*/4),
+            read_golden("sweep_2x2.jsonl"));
+}
+
+TEST(GoldenConvergence, SerialTrainingSweepIsByteIdentical) {
+  const std::string golden = read_golden("convergence_2x2.jsonl");
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(run_plan_to_jsonl(convergence_plan(), /*threads=*/1), golden)
+      << "training-sweep output drifted from "
+         "tests/golden/convergence_2x2.jsonl — the data draw, placement, "
+         "arrival order, decode arithmetic, or optimizer changed";
+}
+
+TEST(GoldenConvergence, ParallelTrainingSweepMatchesTheGoldenToo) {
+  EXPECT_EQ(run_plan_to_jsonl(convergence_plan(), /*threads=*/4),
+            read_golden("convergence_2x2.jsonl"));
 }

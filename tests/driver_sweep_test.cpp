@@ -129,7 +129,9 @@ TEST(SweepPlan, CapabilityViolationsRejectedBeforeAnyCellRuns) {
 
   plan = driver::SweepPlan{};
   plan.base.runtime = "threaded";
-  plan.base.cluster_override = coupon::simulate::ec2_cluster();
+  plan.base.cluster_override =
+      std::make_shared<const coupon::simulate::ClusterConfig>(
+          coupon::simulate::ec2_cluster());
   EXPECT_THROW(driver::expand_plan(plan), std::invalid_argument);
 }
 
@@ -249,7 +251,7 @@ TEST(RuntimePolicy, ApplyPartialTrainsThroughCoverageFailures) {
 
     // kApplyPartial: the same cell applies a rescaled covered gradient
     // every iteration instead of freezing.
-    config.on_failure = coupon::runtime::FailurePolicy::kApplyPartial;
+    config.on_failure = coupon::engine::FailurePolicy::kApplyPartial;
     const auto partial = driver::run_experiment(config);
     EXPECT_EQ(partial.partial_iterations, config.iterations);
     EXPECT_EQ(partial.failures, 0u);
@@ -268,7 +270,7 @@ TEST(RuntimePolicy, ApplyPartialRunsThroughASweep) {
   // under kApplyPartial, and the record carries the partial counts.
   driver::SweepPlan plan;
   plan.base = colliding_bcc_config(0);
-  plan.base.on_failure = coupon::runtime::FailurePolicy::kApplyPartial;
+  plan.base.on_failure = coupon::engine::FailurePolicy::kApplyPartial;
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     plan.seeds.push_back(seed);
   }

@@ -241,7 +241,7 @@ TEST(Driver, ConfigFromSimScenarioCopiesParametersAndCluster) {
   EXPECT_EQ(config.iterations, scenario.iterations);
   EXPECT_EQ(config.seed, scenario.seed);
   // The footgun fix: the customized cluster is carried, not discarded.
-  ASSERT_TRUE(config.cluster_override.has_value());
+  ASSERT_NE(config.cluster_override, nullptr);
   EXPECT_DOUBLE_EQ(config.cluster_override->drop_probability, 0.25);
 }
 

@@ -29,7 +29,7 @@ TEST(Integration, PaperPipelineTrainsAModel) {
   core::GroupedBatchSource source(problem.dataset, partition);
 
   core::SchemeConfig config{24, 24, 6, true};
-  auto scheme = core::make_scheme(core::SchemeKind::kBcc, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("bcc", config, rng);
 
   runtime::ThreadCluster cluster(*scheme, source);
   opt::NesterovGradient optimizer(60,
@@ -62,19 +62,19 @@ TEST(Integration, AllSchemesProduceTheSameModel) {
   core::PerExampleSource source(problem.dataset);
 
   std::vector<std::vector<double>> models;
-  for (core::SchemeKind kind :
-       {core::SchemeKind::kUncoded, core::SchemeKind::kBcc,
-        core::SchemeKind::kSimpleRandom, core::SchemeKind::kCyclicRepetition,
-        core::SchemeKind::kFractionalRepetition}) {
+  for (const char* kind :
+       {"uncoded", "bcc", "simple_random", "cr", "fr"}) {
     stats::Rng scheme_rng(99);
     core::SchemeConfig config{12, 12, 3, true};
-    auto scheme = core::make_scheme(kind, config, scheme_rng);
+    auto scheme =
+        core::SchemeRegistry::instance().create(kind, config, scheme_rng);
     // Random placements may miss a unit at this small n: redraw, as a
     // deployment would before loading data onto the workers.
     for (int attempt = 0; attempt < 64 &&
                           !scheme->placement().covers_all_examples();
          ++attempt) {
-      scheme = core::make_scheme(kind, config, scheme_rng);
+      scheme =
+          core::SchemeRegistry::instance().create(kind, config, scheme_rng);
     }
     ASSERT_TRUE(scheme->placement().covers_all_examples());
     runtime::ThreadCluster cluster(*scheme, source);
@@ -100,11 +100,10 @@ TEST(Integration, SimulatorKMatchesRuntimeKForDeterministicSchemes) {
   core::PerExampleSource source(problem.dataset);
 
   for (auto [kind, expected_k] :
-       {std::pair{core::SchemeKind::kUncoded, 10.0},
-        std::pair{core::SchemeKind::kCyclicRepetition, 8.0}}) {
+       {std::pair{"uncoded", 10.0}, std::pair{"cr", 8.0}}) {
     stats::Rng srng(5);
     core::SchemeConfig config{10, 10, 3, false};
-    auto scheme = core::make_scheme(kind, config, srng);
+    auto scheme = core::SchemeRegistry::instance().create(kind, config, srng);
 
     simulate::ClusterConfig cluster_config;
     const auto sim_report =
@@ -138,7 +137,7 @@ TEST(Integration, Fig2OrderingAcrossTheLoadRange) {
   stats::OnlineStats k_mc;
   for (int trial = 0; trial < 300; ++trial) {
     core::SchemeConfig config{1000, m, 10, false};
-    auto scheme = core::make_scheme(core::SchemeKind::kBcc, config, rng);
+    auto scheme = core::SchemeRegistry::instance().create("bcc", config, rng);
     auto collector = scheme->make_collector();
     for (std::size_t i = 0; i < 1000 && !collector->ready(); ++i) {
       collector->offer(i, scheme->message_meta(i), {});
@@ -155,8 +154,8 @@ TEST(Integration, CommunicationLoadOrderingMatchesEq6VsEq14) {
   const std::size_t n = 500, m = 40, r = 8;
   core::SchemeConfig config{n, m, r, false};
 
-  auto bcc = core::make_scheme(core::SchemeKind::kBcc, config, rng);
-  auto srs = core::make_scheme(core::SchemeKind::kSimpleRandom, config, rng);
+  auto bcc = core::SchemeRegistry::instance().create("bcc", config, rng);
+  auto srs = core::SchemeRegistry::instance().create("simple_random", config, rng);
 
   stats::OnlineStats l_bcc, l_srs;
   for (int trial = 0; trial < 100; ++trial) {
@@ -184,7 +183,7 @@ TEST(Integration, EndToEndSeedReproducibility) {
     const auto problem = data::generate_logreg(16, dconf, rng);
     core::PerExampleSource source(problem.dataset);
     core::SchemeConfig config{16, 16, 4, true};
-    auto scheme = core::make_scheme(core::SchemeKind::kBcc, config, rng);
+    auto scheme = core::SchemeRegistry::instance().create("bcc", config, rng);
     runtime::ThreadCluster cluster(*scheme, source);
     opt::NesterovGradient optimizer(8,
                                     opt::LearningRateSchedule::constant(0.5));

@@ -102,11 +102,10 @@ TEST(AllocationFree, EverySchemeRunsIterationsWithoutAllocating) {
   config.num_units = 24;
   config.load = 4;
   stats::Rng build_rng(7);
-  for (const auto kind :
-       {core::SchemeKind::kUncoded, core::SchemeKind::kBcc,
-        core::SchemeKind::kSimpleRandom, core::SchemeKind::kCyclicRepetition,
-        core::SchemeKind::kFractionalRepetition}) {
-    const auto scheme = core::make_scheme(kind, config, build_rng);
+  for (const char* kind :
+       {"uncoded", "bcc", "simple_random", "cr", "fr"}) {
+    const auto scheme =
+        core::SchemeRegistry::instance().create(kind, config, build_rng);
     EXPECT_EQ(steady_state_allocations(*scheme, alloc_test_cluster(),
                                        /*warmup=*/3, /*iterations=*/200),
               0u)
@@ -125,7 +124,7 @@ TEST(AllocationFree, DropsAndCoverageFailuresStayAllocationFree) {
   stats::Rng build_rng(11);
   auto cluster = alloc_test_cluster();
   cluster.drop_probability = 0.3;
-  const auto scheme = core::make_scheme(core::SchemeKind::kBcc, config,
+  const auto scheme = core::SchemeRegistry::instance().create("bcc", config,
                                         build_rng);
   EXPECT_EQ(steady_state_allocations(*scheme, cluster, /*warmup=*/3,
                                      /*iterations=*/300),
@@ -143,7 +142,7 @@ TEST(AllocationFree, SimulateRunWithoutTraceOnlyAllocatesSetup) {
   config.load = 4;
   stats::Rng build_rng(13);
   const auto scheme =
-      core::make_scheme(core::SchemeKind::kBcc, config, build_rng);
+      core::SchemeRegistry::instance().create("bcc", config, build_rng);
 
   auto count_run = [&](std::size_t iterations) {
     stats::Rng rng(99);

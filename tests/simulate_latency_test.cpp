@@ -61,8 +61,8 @@ TEST(ShiftedExpModel, ExplicitFactoryMatchesTheDefaultPathBitForBit) {
   // "default == paper's law" claim, checked through the full simulator.
   stats::Rng rng_a(11), rng_b(11);
   core::SchemeConfig config{20, 20, 5, false};
-  auto scheme_a = core::make_scheme(core::SchemeKind::kBcc, config, rng_a);
-  auto scheme_b = core::make_scheme(core::SchemeKind::kBcc, config, rng_b);
+  auto scheme_a = core::SchemeRegistry::instance().create("bcc", config, rng_a);
+  auto scheme_b = core::SchemeRegistry::instance().create("bcc", config, rng_b);
 
   ClusterConfig implicit;
   implicit.compute_straggle = 50.0;
@@ -247,9 +247,9 @@ TEST(MarkovStragglerModel, PersistenceRaisesRunVariabilityOverBursty) {
   stats::Rng rng_markov(139), rng_bimodal(139);
   core::SchemeConfig config{30, 30, 1, false};
   auto scheme_m =
-      core::make_scheme(core::SchemeKind::kUncoded, config, rng_markov);
+      core::SchemeRegistry::instance().create("uncoded", config, rng_markov);
   auto scheme_b =
-      core::make_scheme(core::SchemeKind::kUncoded, config, rng_bimodal);
+      core::SchemeRegistry::instance().create("uncoded", config, rng_bimodal);
 
   ClusterConfig markov;
   markov.latency_model = [](std::size_t n) {
@@ -357,7 +357,7 @@ TEST(SimulateIteration, NonFiniteModelDrawsAreRejected) {
   };
   stats::Rng rng(41);
   core::SchemeConfig config{3, 3, 1, false};
-  auto scheme = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("uncoded", config, rng);
   ClusterConfig cluster;
   cluster.latency_model = [](std::size_t) {
     return std::make_unique<InfiniteModel>();
@@ -371,7 +371,7 @@ TEST(TraceReplayModel, DrivesTheSimulatorDeterministically) {
                  "trace_sim_test.csv");
   stats::Rng rng(17);
   core::SchemeConfig config{4, 4, 1, false};
-  auto scheme = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("uncoded", config, rng);
   ClusterConfig cluster;
   const std::string path = file.path();
   cluster.latency_model = [path](std::size_t n) {
@@ -441,7 +441,7 @@ TEST(ValidateClusterConfig, RejectsOutOfRangeKnobs) {
 TEST(ValidateClusterConfig, SimulatorRejectsBadConfigsBeforeSampling) {
   stats::Rng rng(23);
   core::SchemeConfig config{4, 4, 1, false};
-  auto scheme = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("uncoded", config, rng);
   auto cluster = valid_cluster();
   cluster.drop_probability = 2.0;
   EXPECT_THROW(simulate_iteration(*scheme, cluster, rng),

@@ -120,7 +120,7 @@ ClusterConfig test_cluster() {
 TEST(SimulateIteration, UncodedAlwaysHearsEveryWorker) {
   stats::Rng rng(1);
   core::SchemeConfig config{10, 10, 1, false};
-  auto scheme = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("uncoded", config, rng);
   for (int trial = 0; trial < 10; ++trial) {
     const auto report = simulate_iteration(*scheme, test_cluster(), rng);
     EXPECT_TRUE(report.recovered);
@@ -133,7 +133,7 @@ TEST(SimulateIteration, CyclicRepetitionHearsExactlyNMinusS) {
   stats::Rng rng(2);
   core::SchemeConfig config{10, 10, 4, false};
   auto scheme =
-      core::make_scheme(core::SchemeKind::kCyclicRepetition, config, rng);
+      core::SchemeRegistry::instance().create("cr", config, rng);
   for (int trial = 0; trial < 10; ++trial) {
     const auto report = simulate_iteration(*scheme, test_cluster(), rng);
     EXPECT_TRUE(report.recovered);
@@ -144,7 +144,7 @@ TEST(SimulateIteration, CyclicRepetitionHearsExactlyNMinusS) {
 TEST(SimulateIteration, BccHearsAtLeastBatchCount) {
   stats::Rng rng(3);
   core::SchemeConfig config{50, 20, 4, false};  // B = 5
-  auto scheme = core::make_scheme(core::SchemeKind::kBcc, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("bcc", config, rng);
   for (int trial = 0; trial < 10; ++trial) {
     const auto report = simulate_iteration(*scheme, test_cluster(), rng);
     if (report.recovered) {
@@ -158,7 +158,7 @@ TEST(SimulateIteration, TimeDecomposesIntoComputeAndComm) {
   stats::Rng rng(4);
   core::SchemeConfig config{8, 8, 2, false};
   auto scheme =
-      core::make_scheme(core::SchemeKind::kCyclicRepetition, config, rng);
+      core::SchemeRegistry::instance().create("cr", config, rng);
   const auto report = simulate_iteration(*scheme, test_cluster(), rng);
   EXPECT_TRUE(report.recovered);
   EXPECT_NEAR(report.total_time, report.compute_time + report.comm_time,
@@ -175,7 +175,7 @@ TEST(SimulateIteration, SerializedIngressLowerBoundsCommTime) {
   // K messages through a serial link take at least K * service time.
   stats::Rng rng(5);
   core::SchemeConfig config{12, 12, 1, false};
-  auto scheme = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("uncoded", config, rng);
   const auto cluster = test_cluster();
   const auto report = simulate_iteration(*scheme, cluster, rng);
   EXPECT_GE(report.total_time,
@@ -186,8 +186,8 @@ TEST(SimulateIteration, SerializedIngressLowerBoundsCommTime) {
 TEST(SimulateIteration, DeterministicGivenSeed) {
   core::SchemeConfig config{20, 20, 5, false};
   stats::Rng rng_a(42), rng_b(42);
-  auto scheme_a = core::make_scheme(core::SchemeKind::kBcc, config, rng_a);
-  auto scheme_b = core::make_scheme(core::SchemeKind::kBcc, config, rng_b);
+  auto scheme_a = core::SchemeRegistry::instance().create("bcc", config, rng_a);
+  auto scheme_b = core::SchemeRegistry::instance().create("bcc", config, rng_b);
   const auto ra = simulate_iteration(*scheme_a, test_cluster(), rng_a);
   const auto rb = simulate_iteration(*scheme_b, test_cluster(), rng_b);
   EXPECT_DOUBLE_EQ(ra.total_time, rb.total_time);
@@ -200,9 +200,9 @@ TEST(SimulateRun, RecordTraceOffMatchesOnExceptForTheTrace) {
   core::SchemeConfig config{10, 10, 3, false};
   stats::Rng rng_a(21), rng_b(21);
   auto scheme_a =
-      core::make_scheme(core::SchemeKind::kBcc, config, rng_a);
+      core::SchemeRegistry::instance().create("bcc", config, rng_a);
   auto scheme_b =
-      core::make_scheme(core::SchemeKind::kBcc, config, rng_b);
+      core::SchemeRegistry::instance().create("bcc", config, rng_b);
 
   RunOptions with_trace{/*iterations=*/15, /*record_trace=*/true};
   RunOptions without_trace{/*iterations=*/15, /*record_trace=*/false};
@@ -222,7 +222,7 @@ TEST(SimulateRun, RecordTraceOffMatchesOnExceptForTheTrace) {
 TEST(SimulateRun, LegacyIterationCountOverloadStillRecordsTheTrace) {
   stats::Rng rng(22);
   core::SchemeConfig config{8, 8, 2, false};
-  auto scheme = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("uncoded", config, rng);
   const auto run = simulate_run(*scheme, test_cluster(), 6, rng);
   EXPECT_EQ(run.iterations.size(), 6u);
 }
@@ -231,7 +231,7 @@ TEST(SimulateRun, AggregatesMatchPerIterationReports) {
   stats::Rng rng(6);
   core::SchemeConfig config{10, 10, 3, false};
   auto scheme =
-      core::make_scheme(core::SchemeKind::kCyclicRepetition, config, rng);
+      core::SchemeRegistry::instance().create("cr", config, rng);
   const auto run = simulate_run(*scheme, test_cluster(), 20, rng);
   ASSERT_EQ(run.iterations.size(), 20u);
   double total = 0.0, compute = 0.0, comm = 0.0;
@@ -250,7 +250,7 @@ TEST(SimulateRun, AggregatesMatchPerIterationReports) {
 TEST(SimulateRun, BccMeanThresholdTracksTheorem1) {
   stats::Rng rng(7);
   core::SchemeConfig config{400, 20, 4, false};  // B = 5, K ~ 11.42
-  auto scheme = core::make_scheme(core::SchemeKind::kBcc, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("bcc", config, rng);
   const auto run = simulate_run(*scheme, test_cluster(), 400, rng);
   EXPECT_EQ(run.failures, 0u);
   // One fixed placement: looser tolerance than the fresh-placement test.
@@ -263,7 +263,7 @@ TEST(SimulateRun, BccMeanThresholdTracksTheorem1) {
 TEST(SimulateIteration, DropProbabilityOneFailsEverything) {
   stats::Rng rng(8);
   core::SchemeConfig config{6, 6, 1, false};
-  auto scheme = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("uncoded", config, rng);
   auto cluster = test_cluster();
   cluster.drop_probability = 1.0;
   const auto report = simulate_iteration(*scheme, cluster, rng);
@@ -277,9 +277,9 @@ TEST(SimulateRun, UncodedIsFragileWhileBccIsRobustToDrops) {
   auto cluster = test_cluster();
   cluster.drop_probability = 0.05;
 
-  auto uncoded = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  auto uncoded = core::SchemeRegistry::instance().create("uncoded", config, rng);
   const auto run_uncoded = simulate_run(*uncoded, cluster, 100, rng);
-  auto bcc = core::make_scheme(core::SchemeKind::kBcc, config, rng);
+  auto bcc = core::SchemeRegistry::instance().create("bcc", config, rng);
   const auto run_bcc = simulate_run(*bcc, cluster, 100, rng);
 
   // Any lost message kills an uncoded iteration (P ~ 1 - 0.95^50 ~ 0.92);
@@ -294,7 +294,7 @@ TEST(SimulateRun, FractionalRepetitionSurvivesHeavyDrops) {
   core::SchemeConfig config{50, 50, 10, false};
   auto cluster = test_cluster();
   cluster.drop_probability = 0.3;
-  auto fr = core::make_scheme(core::SchemeKind::kFractionalRepetition,
+  auto fr = core::SchemeRegistry::instance().create("fr",
                               config, rng);
   const auto run = simulate_run(*fr, cluster, 50, rng);
   // Each block has r = 10 replicas: failure needs all ten lost (0.3^10).
@@ -304,7 +304,7 @@ TEST(SimulateRun, FractionalRepetitionSurvivesHeavyDrops) {
 TEST(SimulateIteration, WorkerOverridesControlComputeTimes) {
   stats::Rng rng(11);
   core::SchemeConfig config{3, 3, 1, false};
-  auto scheme = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("uncoded", config, rng);
   auto cluster = test_cluster();
   cluster.worker_overrides = {
       {10.0, 1e6}, {1e-4, 1e6}, {1e-4, 1e6}};  // worker 0: ~10 s floor
@@ -318,7 +318,7 @@ TEST(SimulateIteration, WorkerOverridesControlComputeTimes) {
 TEST(SimulateIteration, OverrideSizeMismatchAsserts) {
   stats::Rng rng(12);
   core::SchemeConfig config{4, 4, 1, false};
-  auto scheme = core::make_scheme(core::SchemeKind::kUncoded, config, rng);
+  auto scheme = core::SchemeRegistry::instance().create("uncoded", config, rng);
   auto cluster = test_cluster();
   cluster.worker_overrides = {{1.0, 1.0}};  // wrong size
   EXPECT_THROW(simulate_iteration(*scheme, cluster, rng),
@@ -330,7 +330,7 @@ TEST(WriteIterationCsv, EmitsHeaderAndOneLinePerIteration) {
   stats::Rng rng(13);
   core::SchemeConfig config{6, 6, 2, false};
   auto scheme =
-      core::make_scheme(core::SchemeKind::kCyclicRepetition, config, rng);
+      core::SchemeRegistry::instance().create("cr", config, rng);
   const auto run = simulate_run(*scheme, test_cluster(), 5, rng);
   std::ostringstream os;
   write_iteration_csv(os, run);
@@ -359,8 +359,7 @@ TEST(Scenario, Ec2ConfigsMatchThePaper) {
 TEST(Scenario, Fig4ShapeHoldsInScenarioOne) {
   const auto rows = run_scenario(
       ec2_scenario_one(),
-      {core::SchemeKind::kUncoded, core::SchemeKind::kCyclicRepetition,
-       core::SchemeKind::kBcc});
+      {"uncoded", "cr", "bcc"});
   ASSERT_EQ(rows.size(), 3u);
   const auto& uncoded = rows[0];
   const auto& cr = rows[1];
@@ -389,8 +388,7 @@ TEST(Scenario, Fig4ShapeHoldsInScenarioOne) {
 TEST(Scenario, Fig4ShapeHoldsInScenarioTwo) {
   const auto rows = run_scenario(
       ec2_scenario_two(),
-      {core::SchemeKind::kUncoded, core::SchemeKind::kCyclicRepetition,
-       core::SchemeKind::kBcc});
+      {"uncoded", "cr", "bcc"});
   const auto& uncoded = rows[0];
   const auto& cr = rows[1];
   const auto& bcc = rows[2];
@@ -407,8 +405,7 @@ TEST(Scenario, TotalTimeTracksRecoveryThreshold) {
   // proportional to K when communication dominates.
   const auto rows = run_scenario(
       ec2_scenario_two(),
-      {core::SchemeKind::kUncoded, core::SchemeKind::kCyclicRepetition,
-       core::SchemeKind::kBcc});
+      {"uncoded", "cr", "bcc"});
   for (const auto& a : rows) {
     for (const auto& b : rows) {
       if (a.recovery_threshold <= b.recovery_threshold) {

@@ -6,6 +6,11 @@
 //   $ coupon_run --scheme cr --scenario no_stragglers --runtime threaded
 //         --workers 8 --units 8 --load 2 --iterations 20 --out run.csv
 //
+//   # convergence: real gradients over simulated time (summary CSV with
+//   # final_loss / time_to_target)
+//   $ coupon_run --scheme bcc --scenario shifted_exp --runtime sim --train
+//         --target_loss 0.5 --iterations 50
+//
 //   # everything the registries know about
 //   $ coupon_run --list
 //
@@ -126,10 +131,12 @@ int run_single(const coupon::driver::ExperimentConfig& config,
     return 1;
   }
 
-  // Simulated runs emit the per-iteration trace schema (header-only at
-  // --iterations 0); threaded runs a summary row (with final loss /
-  // train accuracy).
-  const auto format = record.runtime == "sim"
+  // Timing-only simulated runs emit the per-iteration trace schema
+  // (header-only at --iterations 0); training runs (threaded, or sim
+  // --train) a summary row with final loss / train accuracy /
+  // time_to_target.
+  const bool trained = record.final_loss.has_value();
+  const auto format = record.runtime == "sim" && !trained
                           ? coupon::driver::RecordFormat::kTraceCsv
                           : coupon::driver::RecordFormat::kSummaryCsv;
   if (!coupon::driver::write_records_to_path(out_path, {record}, format)) {
@@ -143,6 +150,18 @@ int run_single(const coupon::driver::ExperimentConfig& config,
                record.runtime.c_str(), record.num_workers, record.num_units,
                record.load, record.iterations, record.recovery_threshold,
                record.total_time, record.failures);
+  if (trained) {
+    std::string extras;
+    if (record.train_accuracy) {
+      extras += " accuracy=" + std::to_string(*record.train_accuracy);
+    }
+    if (record.time_to_target) {
+      extras += " time_to_target=" + std::to_string(*record.time_to_target) +
+                "s";
+    }
+    std::fprintf(stderr, "final loss=%.6f%s\n", *record.final_loss,
+                 extras.c_str());
+  }
   return 0;
 }
 
