@@ -34,6 +34,24 @@ run "${BUILD_DIR}/tools/coupon_run" --scheme bcc --scenario shifted_exp \
 grep -q "time_to_target" "${TMP_DIR}/train.csv"
 test "$(tail -1 "${TMP_DIR}/train.csv" | awk -F, '{print $NF}')" != ""
 
+# Multi-process socket runtime: 4 worker OS processes train end-to-end
+# and reach the target loss; then the crash drill SIGKILLs worker 1
+# mid-iteration and the run must still complete under kSkipUpdate. Both
+# under a hard timeout so a wedged socket can never hang the smoke job.
+run timeout 120 "${BUILD_DIR}/tools/coupon_run" --scheme bcc \
+    --scenario no_stragglers --runtime process --workers 4 --units 4 \
+    --load 2 --iterations 12 --seed 123 --features 8 --examples_per_unit 5 \
+    --target_loss 0.69 --out "${TMP_DIR}/process.csv"
+grep -q "time_to_target" "${TMP_DIR}/process.csv"
+test "$(tail -1 "${TMP_DIR}/process.csv" | awk -F, '{print $NF}')" != ""
+run timeout 120 "${BUILD_DIR}/tools/coupon_run" --scheme bcc \
+    --scenario no_stragglers --runtime process --workers 4 --units 4 \
+    --load 2 --iterations 12 --seed 123 --features 8 --examples_per_unit 5 \
+    --crash_worker 1 --crash_iteration 2 --worker_timeout_ms 5000 \
+    --out "${TMP_DIR}/process_crash.csv"
+test -s "${TMP_DIR}/process_crash.csv"
+test "$(wc -l < "${TMP_DIR}/process_crash.csv")" -eq 2  # header + summary row
+
 # Parallel sweep: 2 schemes x 2 scenarios x 2 loads -> exactly 8 JSONL
 # rows and 8 CSV rows + header.
 run "${BUILD_DIR}/tools/coupon_run" --sweep --schemes bcc,cr \

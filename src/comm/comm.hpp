@@ -3,6 +3,8 @@
 /// \file comm.hpp
 /// Umbrella header for the comm module.
 
-#include "comm/message.hpp" // IWYU pragma: export
-#include "comm/network.hpp" // IWYU pragma: export
-#include "comm/queue.hpp"   // IWYU pragma: export
+#include "comm/message.hpp"       // IWYU pragma: export
+#include "comm/network.hpp"       // IWYU pragma: export
+#include "comm/queue.hpp"         // IWYU pragma: export
+#include "comm/tcp_transport.hpp" // IWYU pragma: export
+#include "comm/transport.hpp"     // IWYU pragma: export

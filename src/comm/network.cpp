@@ -60,6 +60,28 @@ std::optional<Message> InProcNetwork::recv_for(
   return m;
 }
 
+PopStatus InProcNetwork::recv(std::size_t rank, Message& out) {
+  COUPON_ASSERT(rank < num_ranks());
+  const PopStatus status = mailboxes_[rank]->mailbox.pop(out);
+  if (status == PopStatus::kItem) {
+    mailboxes_[rank]->messages_received.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
+  return status;
+}
+
+PopStatus InProcNetwork::recv_for(std::size_t rank,
+                                  std::chrono::milliseconds timeout,
+                                  Message& out) {
+  COUPON_ASSERT(rank < num_ranks());
+  const PopStatus status = mailboxes_[rank]->mailbox.pop_for(timeout, out);
+  if (status == PopStatus::kItem) {
+    mailboxes_[rank]->messages_received.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
+  return status;
+}
+
 std::optional<Message> InProcNetwork::try_recv(std::size_t rank) {
   COUPON_ASSERT(rank < num_ranks());
   auto m = mailboxes_[rank]->mailbox.try_pop();

@@ -52,6 +52,16 @@ class InProcNetwork {
   std::optional<Message> recv_for(std::size_t rank,
                                   std::chrono::milliseconds timeout);
 
+  /// Blocking receive with a distinguishable outcome: kItem with `out`
+  /// assigned, or kClosed once the mailbox is closed and drained.
+  PopStatus recv(std::size_t rank, Message& out);
+
+  /// Deadline receive that keeps EOF distinct from timeout: kItem with
+  /// `out` assigned, kTimeout when the deadline passed with the mailbox
+  /// open, kClosed once closed and drained.
+  PopStatus recv_for(std::size_t rank, std::chrono::milliseconds timeout,
+                     Message& out);
+
   /// Non-blocking receive.
   std::optional<Message> try_recv(std::size_t rank);
 

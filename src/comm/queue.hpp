@@ -12,6 +12,16 @@
 
 namespace coupon::comm {
 
+/// Why a deadline pop returned without an item — or with one. Crash
+/// detection needs "the peer went away" (kClosed, terminal) to be
+/// distinguishable from "the peer is slow" (kTimeout, retryable); the
+/// optional-returning pops conflate the two.
+enum class PopStatus {
+  kItem,     ///< an item was delivered
+  kTimeout,  ///< the deadline passed with the queue open and empty
+  kClosed,   ///< the queue is closed and drained — nothing will ever arrive
+};
+
 /// Unbounded MPMC FIFO with blocking pop and close semantics.
 ///
 /// After `close()`, pushes are rejected and pops drain the remaining
@@ -61,6 +71,26 @@ class BlockingQueue {
     return item;
   }
 
+  /// Blocking pop with a distinguishable outcome: kItem with `out`
+  /// assigned, or kClosed once the queue is closed and drained.
+  PopStatus pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return take_locked(out);
+  }
+
+  /// Deadline pop with a distinguishable outcome: kItem with `out`
+  /// assigned, kTimeout when the deadline passed with the queue still
+  /// open, or kClosed once closed and drained.
+  PopStatus pop_for(std::chrono::milliseconds timeout, T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout,
+                      [this] { return closed_ || !items_.empty(); })) {
+      return PopStatus::kTimeout;
+    }
+    return take_locked(out);
+  }
+
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -92,6 +122,17 @@ class BlockingQueue {
   }
 
  private:
+  /// Predicate already satisfied under `lock`: either an item exists
+  /// (closed queues still drain) or the queue is closed and empty.
+  PopStatus take_locked(T& out) {
+    if (items_.empty()) {
+      return PopStatus::kClosed;
+    }
+    out = std::move(items_.front());
+    items_.pop_front();
+    return PopStatus::kItem;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<T> items_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/scheme_registry.hpp"
+#include "driver/runtime_registry.hpp"
 #include "util/assert.hpp"
 
 namespace coupon::driver {
@@ -53,7 +54,15 @@ void add_experiment_flags(CliFlags& flags) {
       .add_bool("stop_at_target", false,
                 "training: stop as soon as target_loss is reached")
       .add_bool("loss_history", false,
-                "training: record the per-iteration (seconds, loss) curve");
+                "training: record the per-iteration (seconds, loss) curve")
+      .add_int("worker_timeout_ms", 10000,
+               "process runtime: per-arrival wait deadline before the "
+               "iteration's stragglers are abandoned (0 = wait forever)")
+      .add_int("crash_worker", -1,
+               "process runtime: SIGKILL this worker mid-iteration "
+               "(-1 = no crash drill)")
+      .add_int("crash_iteration", 0,
+               "process runtime: iteration at which crash_worker dies");
 }
 
 std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags) {
@@ -80,17 +89,29 @@ std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags) {
   }
 
   config.runtime = flags.get_string("runtime");
-  const auto runtime = make_runtime(config.runtime);
+  const RuntimeEntry* runtime =
+      RuntimeRegistry::instance().find(config.runtime);
   if (runtime == nullptr) {
-    std::fprintf(stderr, "unknown --runtime '%s' (choices: %s)\n",
-                 config.runtime.c_str(), runtime_choices().c_str());
+    std::fprintf(stderr, "%s\n",
+                 RuntimeRegistry::instance()
+                     .unknown_message(config.runtime)
+                     .c_str());
     return std::nullopt;
   }
-  config.runtime = runtime->name();  // canonicalize aliases
-  if (config.runtime == "threaded" && scenario->sim_only) {
+  config.runtime = runtime->name;  // canonicalize aliases
+  // Capability-driven validation: ask what the runtime can do, not what
+  // it is called (out-of-tree runtimes get the same checks for free).
+  if (scenario->sim_only && !runtime->caps.honours_sim_only_scenarios) {
     std::fprintf(stderr,
                  "--scenario %s only varies simulator-side knobs; use "
                  "--runtime sim\n",
+                 config.scenario.c_str());
+    return std::nullopt;
+  }
+  if (scenario->live_only && !runtime->caps.honours_elasticity) {
+    std::fprintf(stderr,
+                 "--scenario %s needs a live cluster (workers join/leave); "
+                 "use --runtime threaded or process\n",
                  config.scenario.c_str());
     return std::nullopt;
   }
@@ -139,14 +160,35 @@ std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags) {
   }
   config.stop_at_target = flags.get_bool("stop_at_target");
   config.record_loss_history = flags.get_bool("loss_history");
+
+  config.worker_timeout_ms = flags.get_int("worker_timeout_ms");
+  const std::int64_t crash_worker = flags.get_int("crash_worker");
+  if (crash_worker >= 0) {
+    if (!runtime->caps.spawns_processes) {
+      std::fprintf(stderr,
+                   "--crash_worker injects a real worker-process SIGKILL; "
+                   "the %s runtime has no processes to kill — use "
+                   "--runtime process\n",
+                   config.runtime.c_str());
+      return std::nullopt;
+    }
+    if (static_cast<std::size_t>(crash_worker) >= config.num_workers) {
+      std::fprintf(stderr, "--crash_worker %lld out of range (n = %zu)\n",
+                   static_cast<long long>(crash_worker), config.num_workers);
+      return std::nullopt;
+    }
+    config.crash_worker = static_cast<std::size_t>(crash_worker);
+  }
+  config.crash_iteration =
+      static_cast<std::size_t>(flags.get_int("crash_iteration"));
   return config;
 }
 
 RunRecord run_experiment(const ExperimentConfig& config) {
   const auto runtime = make_runtime(config.runtime);
   if (runtime == nullptr) {
-    throw std::invalid_argument("unknown runtime '" + config.runtime +
-                                "' (choices: " + runtime_choices() + ")");
+    throw std::invalid_argument(
+        RuntimeRegistry::instance().unknown_message(config.runtime));
   }
   return runtime->run(config);
 }

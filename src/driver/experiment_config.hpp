@@ -89,6 +89,19 @@ struct ExperimentConfig {
   /// matching the paper's fully random choice; training runs: true,
   /// matching the quickstart's real-training setup).
   std::optional<bool> bcc_seed_first_batches;
+
+  // --- process runtime only (rejected loudly elsewhere) ----------------
+
+  /// Master-side wait deadline per gradient arrival before the
+  /// iteration's outstanding replies are abandoned to the FailurePolicy.
+  /// Bounds a hung-but-alive worker; crashed workers are detected
+  /// immediately via socket EOF. 0 = wait forever.
+  std::int64_t worker_timeout_ms = 10000;
+  /// Crash drill: this worker raises SIGKILL on receiving the broadcast
+  /// of `crash_iteration` — exercises EOF detection and FailurePolicy
+  /// recovery on a real process.
+  std::optional<std::size_t> crash_worker;
+  std::size_t crash_iteration = 0;
 };
 
 }  // namespace coupon::driver

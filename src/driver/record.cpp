@@ -150,6 +150,9 @@ void JsonlSink::write(const RunRecord& record) {
   if (record.time_to_target) {
     os_ << ",\"time_to_target\":" << json_number(*record.time_to_target);
   }
+  if (record.workers_lost > 0) {
+    os_ << ",\"workers_lost\":" << record.workers_lost;
+  }
   if (!record.loss_history.empty()) {
     os_ << ",\"loss_history\":[";
     for (std::size_t i = 0; i < record.loss_history.size(); ++i) {

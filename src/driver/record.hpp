@@ -62,6 +62,11 @@ struct RunRecord {
   std::optional<double> time_to_target;  ///< seconds to reach target_loss
   std::size_t iterations_run = 0;        ///< < iterations on stop_at_target
   std::vector<engine::LossPoint> loss_history;  ///< opt-in (seconds, loss)
+
+  /// Workers that died mid-run (socket EOF / broken pipe) — process
+  /// runtime only. JSONL-only field: emitted when > 0, so timing-only
+  /// output and the pinned golden traces stay byte-identical.
+  std::size_t workers_lost = 0;
 };
 
 /// Consumes finished records in deterministic order. `write` is always

@@ -1,17 +1,21 @@
 #include "driver/runtime.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "core/gradient_source.hpp"
 #include "core/scheme_registry.hpp"
 #include "data/batching.hpp"
 #include "data/synthetic.hpp"
+#include "driver/runtime_registry.hpp"
 #include "driver/scenario_registry.hpp"
 #include "engine/simulated_provider.hpp"
 #include "engine/training_engine.hpp"
 #include "opt/least_squares.hpp"
 #include "opt/logistic.hpp"
 #include "opt/optimizer.hpp"
+#include "runtime/process_cluster.hpp"
 #include "runtime/thread_cluster.hpp"
 #include "simulate/cluster_sim.hpp"
 #include "stats/rng.hpp"
@@ -153,11 +157,30 @@ void fill_convergence_fields(const engine::TrainReport& report,
   }
 }
 
+/// Rejects the process-only crash drill on runtimes whose workers are
+/// not OS processes.
+void reject_crash_drill(const ExperimentConfig& config,
+                        std::string_view runtime_name) {
+  if (config.crash_worker) {
+    throw std::invalid_argument(
+        "crash_worker injects a real worker-process SIGKILL; the " +
+        std::string(runtime_name) +
+        " runtime has no processes to kill — use --runtime process");
+  }
+}
+
 }  // namespace
 
 RunRecord SimulatedRuntime::run(const ExperimentConfig& config) const {
   const Scenario scenario = ScenarioRegistry::instance().build(
       config.scenario, config.num_workers);
+  if (scenario.live_only) {
+    throw std::invalid_argument(
+        "scenario '" + scenario.name +
+        "' needs a live cluster (workers join/leave); use --runtime "
+        "threaded or process");
+  }
+  reject_crash_drill(config, name());
   RunRecord record = identity_record(config, name());
 
   // The footgun fix: a caller-supplied cluster model (e.g. from
@@ -228,6 +251,7 @@ RunRecord ThreadedRuntime::run(const ExperimentConfig& config) const {
         "cluster_override describes the simulated cluster; the threaded "
         "runtime cannot honour it — use the sim runtime");
   }
+  reject_crash_drill(config, name());
   RunRecord record = identity_record(config, name());
 
   stats::Rng rng(config.seed);
@@ -248,6 +272,7 @@ RunRecord ThreadedRuntime::run(const ExperimentConfig& config) const {
   static_cast<engine::TrainOptions&>(options) =
       engine_options(config, workload);
   options.straggler = scenario.straggler;
+  options.elasticity = scenario.elasticity;
 
   engine::TrainReport report = cluster.train(*optimizer, options);
 
@@ -256,18 +281,74 @@ RunRecord ThreadedRuntime::run(const ExperimentConfig& config) const {
   return record;
 }
 
+RunRecord ProcessRuntime::run(const ExperimentConfig& config) const {
+  const Scenario scenario = ScenarioRegistry::instance().build(
+      config.scenario, config.num_workers);
+  if (scenario.sim_only) {
+    throw std::invalid_argument(
+        "scenario '" + scenario.name +
+        "' only varies simulator-side knobs; use --runtime sim");
+  }
+  if (config.cluster_override) {
+    throw std::invalid_argument(
+        "cluster_override describes the simulated cluster; the process "
+        "runtime cannot honour it — use the sim runtime");
+  }
+  if (!runtime::ProcessCluster::supported()) {
+    throw std::runtime_error(
+        "the process runtime needs fork() and stream sockets (loopback "
+        "TCP or AF_UNIX socketpair), unavailable in this sandbox — use "
+        "--runtime threaded");
+  }
+  RunRecord record = identity_record(config, name());
+
+  // Same draw order as the threaded runtime — rng(seed) names the same
+  // problem and scheme on both live substrates, so an undisturbed run's
+  // final loss matches the threaded runtime's bit-for-bit (for schemes
+  // with arrival-order-independent decodes).
+  stats::Rng rng(config.seed);
+  TrainingWorkload workload;
+  build_workload(config, rng, workload);
+  auto scheme = core::SchemeRegistry::instance().create(
+      config.scheme, scheme_config(config, /*default_seed_first_batches=*/true),
+      rng);
+  record.scheme_display = std::string(scheme->name());
+
+  runtime::ProcessCluster cluster(*scheme, *workload.source,
+                                  config.seed + 42);
+  auto optimizer = make_optimizer(config);
+
+  runtime::ProcessTrainOptions options;
+  static_cast<engine::TrainOptions&>(options) =
+      engine_options(config, workload);
+  options.straggler = scenario.straggler;
+  options.elasticity = scenario.elasticity;
+  options.worker_timeout =
+      std::chrono::milliseconds(std::max<std::int64_t>(0, config.worker_timeout_ms));
+  if (config.crash_worker) {
+    if (*config.crash_worker >= config.num_workers) {
+      throw std::invalid_argument("crash_worker out of range (n = " +
+                                  std::to_string(config.num_workers) + ")");
+    }
+    options.crash = runtime::CrashPlan{.worker = *config.crash_worker,
+                                       .iteration = config.crash_iteration};
+  }
+
+  runtime::ProcessTrainResult result = cluster.train(*optimizer, options);
+
+  fill_convergence_fields(result.report, workload, record);
+  record.loss_history = std::move(result.report.loss_history);
+  record.workers_lost = result.workers_lost;
+  return record;
+}
+
 std::unique_ptr<Runtime> make_runtime(std::string_view name) {
-  if (name == "sim" || name == "simulated" || name == "simulate") {
-    return std::make_unique<SimulatedRuntime>();
-  }
-  if (name == "threaded" || name == "thread" || name == "threads") {
-    return std::make_unique<ThreadedRuntime>();
-  }
-  return nullptr;
+  return RuntimeRegistry::instance().create(name);
 }
 
 const std::vector<std::string>& runtime_names() {
-  static const std::vector<std::string> names = {"sim", "threaded"};
+  static const std::vector<std::string> names =
+      RuntimeRegistry::instance().names();
   return names;
 }
 

@@ -4,11 +4,13 @@
 /// The unified execution-substrate interface (DESIGN.md §2, §4).
 ///
 /// A `Runtime` turns one fully-resolved `ExperimentConfig` into one typed
-/// `RunRecord`. The two implementations are the discrete-event simulator
-/// (`SimulatedRuntime`, no gradients computed) and the real-thread
-/// training cluster (`ThreadedRuntime`); a future MPI/distributed backend
-/// is one more subclass plus a `make_runtime` entry — callers never
-/// branch on a runtime enum.
+/// `RunRecord`. The three implementations are the discrete-event
+/// simulator (`SimulatedRuntime`, no gradients computed), the real-thread
+/// training cluster (`ThreadedRuntime`), and the multi-process socket
+/// cluster (`ProcessRuntime`). Runtimes are published through
+/// `RuntimeRegistry` (runtime_registry.hpp) with capability flags; a new
+/// backend is one more subclass plus a `RuntimeRegistration` — callers
+/// never branch on a runtime enum or name.
 
 #include <memory>
 #include <string>
@@ -52,8 +54,19 @@ class ThreadedRuntime final : public Runtime {
   RunRecord run(const ExperimentConfig& config) const override;
 };
 
-/// Builds the named runtime ("sim"/"simulated"/"simulate",
-/// "threaded"/"thread"/"threads"); nullptr for an unknown name.
+/// Worker OS processes over framed stream sockets
+/// (runtime/process_cluster.hpp): the same master protocol as the
+/// threaded runtime, plus real crash tolerance — a SIGKILLed worker is
+/// detected via socket EOF and resolved by the FailurePolicy.
+class ProcessRuntime final : public Runtime {
+ public:
+  std::string_view name() const override { return "process"; }
+  RunRecord run(const ExperimentConfig& config) const override;
+};
+
+/// Builds the named runtime via RuntimeRegistry ("sim"/"simulated"/
+/// "simulate", "threaded"/"thread"/"threads", "process"/"processes"/
+/// "proc"); nullptr for an unknown name.
 std::unique_ptr<Runtime> make_runtime(std::string_view name);
 
 /// Canonical runtime names, in presentation order.

@@ -1,7 +1,9 @@
 #include "driver/scenario_registry.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -29,6 +31,33 @@ Scenario ec2_baseline() {
   s.cluster = simulate::ec2_cluster();
   s.straggler = shifted_exp_straggler();
   return s;
+}
+
+/// Elastic scenario: `count` workers (the highest-indexed ones) leave at
+/// iteration `leave` and rejoin at `rejoin`, under no_stragglers timing
+/// so the absence window dominates the trace.
+Scenario elastic_scenario(std::size_t count, std::size_t leave,
+                          std::size_t rejoin, std::size_t num_workers) {
+  Scenario s = ec2_baseline();
+  s.cluster.compute_straggle = 1e6;
+  s.straggler.enabled = false;
+  count = std::min(count, num_workers);
+  for (std::size_t k = 0; k < count; ++k) {
+    s.elasticity.windows.push_back({.worker = num_workers - 1 - k,
+                                    .leave_iteration = leave,
+                                    .rejoin_iteration = rejoin});
+  }
+  return s;
+}
+
+std::optional<std::size_t> parse_size(std::string_view text) {
+  std::size_t value = 0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) {
+    return std::nullopt;
+  }
+  return value;
 }
 
 }  // namespace
@@ -155,6 +184,41 @@ ScenarioRegistry::ScenarioRegistry() {
          return s;
        },
        .param_builder = {}});
+  // The join/leave drill for the live runtimes (threaded, process):
+  // workers go absent for a window of iterations and re-enlist on the
+  // next broadcast. live_only — simulated workers cannot leave.
+  add({.name = "elastic",
+       .description =
+           "n/5 workers leave at iteration 3, rejoin at 8; parameterize "
+           "as elastic:<count>@<leave>-<rejoin> (live runtimes only)",
+       .live_only = true,
+       .builder =
+           [](std::size_t num_workers) {
+             const std::size_t count =
+                 std::max<std::size_t>(1, num_workers / 5);
+             return elastic_scenario(count, 3, 8, num_workers);
+           },
+       .param_builder =
+           [](std::string_view arg, std::size_t num_workers) {
+             // "<count>@<leave>-<rejoin>", e.g. "2@3-8".
+             const std::size_t at = arg.find('@');
+             const std::size_t dash = arg.find('-', at + 1);
+             std::optional<std::size_t> count, leave, rejoin;
+             if (at != std::string_view::npos &&
+                 dash != std::string_view::npos) {
+               count = parse_size(arg.substr(0, at));
+               leave = parse_size(arg.substr(at + 1, dash - at - 1));
+               rejoin = parse_size(arg.substr(dash + 1));
+             }
+             if (!count || !leave || !rejoin || *leave >= *rejoin) {
+               throw std::invalid_argument(
+                   "elastic scenario argument must be "
+                   "'<count>@<leave>-<rejoin>' with leave < rejoin, got "
+                   "'elastic:" +
+                   std::string(arg) + "'");
+             }
+             return elastic_scenario(*count, *leave, *rejoin, num_workers);
+           }});
   add({.name = "trace",
        .description =
            "replay per-worker compute latencies from a CSV file; select "
@@ -223,6 +287,7 @@ Scenario ScenarioRegistry::build(std::string_view name,
   scenario.name = std::string(name);  // full spelling, e.g. "trace:<path>"
   scenario.description = entry->description;
   scenario.sim_only = entry->sim_only;
+  scenario.live_only = entry->live_only;
   return scenario;
 }
 

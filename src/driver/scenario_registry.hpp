@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "runtime/elasticity.hpp"
 #include "runtime/straggler.hpp"
 #include "simulate/cluster_config.hpp"
 
@@ -38,6 +39,13 @@ struct Scenario {
   /// scenarios under --runtime threaded instead of silently running
   /// shifted_exp behaviour under a different label.
   bool sim_only = false;
+  /// True when the scenario needs a live cluster (elasticity plans:
+  /// workers join/leave mid-run); the driver rejects such scenarios
+  /// under --runtime sim.
+  bool live_only = false;
+  /// Planned worker absences, honoured by the live runtimes (the master
+  /// skips broadcasting to an absent worker; rejoin = next broadcast).
+  runtime::ElasticityPlan elasticity;
 };
 
 /// One registry entry. The builder fills the dual cluster/straggler view
@@ -50,6 +58,7 @@ struct ScenarioEntry {
   std::string name;
   std::string description;
   bool sim_only = false;
+  bool live_only = false;
   std::function<Scenario(std::size_t num_workers)> builder;
   /// Builder for the parameterized "name:arg" spelling; the argument is
   /// everything after the first ':'.

@@ -11,6 +11,7 @@
 #include "core/scheme_registry.hpp"
 #include "driver/driver.hpp"
 #include "driver/runtime.hpp"
+#include "driver/runtime_registry.hpp"
 #include "driver/scenario_registry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -47,29 +48,43 @@ std::vector<SweepCell> expand_plan(const SweepPlan& plan) {
           scenario_registry.unknown_message(scenario));
     }
   }
-  const auto runtime = make_runtime(plan.base.runtime);
+  const RuntimeEntry* runtime =
+      RuntimeRegistry::instance().find(plan.base.runtime);
   if (runtime == nullptr) {
-    throw std::invalid_argument("unknown runtime '" + plan.base.runtime +
-                                "' (choices: " + runtime_choices() + ")");
+    throw std::invalid_argument(
+        RuntimeRegistry::instance().unknown_message(plan.base.runtime));
   }
 
   // ... and on any cell the selected runtime or a scheme's structural
   // requirements would reject at run time, so a sweep cannot burn half
-  // its cells before discovering a bad combination.
-  const bool threaded = runtime->name() == "threaded";
-  if (threaded) {
-    for (const auto& scenario : scenarios) {
-      if (scenario_registry.resolve(scenario)->sim_only) {
-        throw std::invalid_argument(
-            "scenario '" + scenario +
-            "' only varies simulator-side knobs; use the sim runtime");
-      }
-    }
-    if (plan.base.cluster_override) {
+  // its cells before discovering a bad combination. Capability-driven:
+  // the planner asks what the runtime can do, never what it is called.
+  for (const auto& scenario : scenarios) {
+    if (scenario_registry.resolve(scenario)->sim_only &&
+        !runtime->caps.honours_sim_only_scenarios) {
       throw std::invalid_argument(
-          "cluster_override describes the simulated cluster; the threaded "
-          "runtime cannot honour it — use the sim runtime");
+          "scenario '" + scenario +
+          "' only varies simulator-side knobs; use the sim runtime");
     }
+    if (scenario_registry.resolve(scenario)->live_only &&
+        !runtime->caps.honours_elasticity) {
+      throw std::invalid_argument(
+          "scenario '" + scenario +
+          "' needs a live cluster (workers join/leave); use the threaded "
+          "or process runtime");
+    }
+  }
+  if (plan.base.cluster_override && !runtime->caps.honours_cluster_override) {
+    throw std::invalid_argument(
+        "cluster_override describes the simulated cluster; the " +
+        std::string(runtime->name) +
+        " runtime cannot honour it — use the sim runtime");
+  }
+  if (plan.base.crash_worker && !runtime->caps.spawns_processes) {
+    throw std::invalid_argument(
+        "crash_worker injects a real worker-process SIGKILL; the " +
+        std::string(runtime->name) +
+        " runtime has no processes to kill — use the process runtime");
   }
   auto check_caps = [&](const std::string& scheme, std::size_t n,
                         std::size_t m, std::size_t r) {

@@ -2,85 +2,17 @@
 
 #include <chrono>
 
+#include "comm/transport.hpp"
+#include "runtime/transport_provider.hpp"
 #include "stats/distributions.hpp"
 #include "stats/rng.hpp"
 #include "util/assert.hpp"
-#include "util/timer.hpp"
 
 namespace coupon::runtime {
 
 namespace {
 
 constexpr std::size_t kMasterRank = 0;
-
-/// Wall-clock `IterationProvider` over the in-process network: broadcast
-/// on begin_iteration, then surface gradient replies in mailbox-arrival
-/// order until all n workers of the iteration are accounted for. Replies
-/// left unconsumed when the engine stops early (collector ready) are
-/// skipped as stale by the next iteration's tag check.
-///
-/// Timing: end_iteration returns the wall time since the previous
-/// end_iteration (or since construction, i.e. train start), so the
-/// master-side work between iterations — decode, optimizer step, loss
-/// evaluation — stays on the clock, as the pre-engine whole-run timer
-/// had it. The summed report therefore spans train start to the last
-/// collection, charged to the iteration that followed the work.
-class ThreadedProvider final : public engine::IterationProvider {
- public:
-  ThreadedProvider(comm::InProcNetwork& network, std::size_t num_workers)
-      : network_(network), num_workers_(num_workers) {}
-
-  void begin_iteration(std::size_t iteration,
-                       std::span<const double> w) override {
-    iteration_ = static_cast<std::int64_t>(iteration);
-    replies_this_iter_ = 0;
-    for (std::size_t i = 0; i < num_workers_; ++i) {
-      comm::Message broadcast;
-      broadcast.source = kMasterRank;
-      broadcast.dest = static_cast<std::int32_t>(i + 1);
-      broadcast.tag = comm::kTagModelBroadcast;
-      broadcast.iteration = iteration_;
-      broadcast.payload.assign(w.begin(), w.end());
-      network_.send(std::move(broadcast));
-    }
-  }
-
-  bool next_arrival(engine::ArrivalView& out) override {
-    while (replies_this_iter_ < num_workers_) {
-      auto msg = network_.recv(kMasterRank);
-      COUPON_ASSERT_MSG(msg.has_value(), "master mailbox closed mid-run");
-      COUPON_ASSERT(msg->tag == comm::kTagGradient);
-      if (msg->iteration != iteration_) {
-        continue;  // stale reply from an iteration the master left early
-      }
-      ++replies_this_iter_;
-      message_ = std::move(*msg);
-      out.worker = static_cast<std::size_t>(message_.source) - 1;
-      out.meta = message_.meta;
-      out.payload = message_.payload;
-      return true;
-    }
-    return false;
-  }
-
-  engine::IterationTiming end_iteration() override {
-    // Wall-clock phases are not separable on real threads: report the
-    // iteration total only (compute_seconds = 0 by convention).
-    const double now = timer_.seconds();
-    const double total = now - last_mark_;
-    last_mark_ = now;
-    return {.total_seconds = total, .compute_seconds = 0.0};
-  }
-
- private:
-  comm::InProcNetwork& network_;
-  std::size_t num_workers_;
-  std::int64_t iteration_ = 0;
-  std::size_t replies_this_iter_ = 0;
-  comm::Message message_;  ///< the last delivered reply (view storage)
-  WallTimer timer_;        ///< started at construction (train start)
-  double last_mark_ = 0.0;
-};
 
 }  // namespace
 
@@ -149,7 +81,14 @@ engine::TrainReport ThreadCluster::train(opt::IterativeOptimizer& optimizer,
                                          const TrainOptions& options) {
   straggler_ = options.straggler;
 
-  ThreadedProvider provider(network_, scheme_.num_workers());
+  // The shared master protocol over an in-process endpoint: identical
+  // broadcast/collect/stale-skip semantics to the socket runtime, with
+  // no worker_timeout — in-process threads always reply.
+  comm::InProcessTransport master(network_, kMasterRank);
+  TransportProvider provider(
+      master, scheme_.num_workers(),
+      {.worker_timeout = std::chrono::milliseconds(0),
+       .elasticity = options.elasticity});
   engine::TrainingEngine protocol(scheme_, source_, provider);
   return protocol.train(optimizer, options);  // the engine::TrainOptions base
 }

@@ -11,10 +11,12 @@
 ///
 /// The master-side iteration protocol itself (broadcast → collect →
 /// failure policy → optimizer step → loss tracking) lives in the shared
-/// `engine::TrainingEngine` (engine/training_engine.hpp); this class is
-/// only the transport + worker-compute provider under it. The simulated
+/// `engine::TrainingEngine` (engine/training_engine.hpp), driven through
+/// the shared `TransportProvider` over an `InProcessTransport` endpoint;
+/// this class is only the worker-compute loop under them. The simulated
 /// provider (engine/simulated_provider.hpp) runs the identical protocol
-/// over simulated time.
+/// over simulated time, and the multi-process cluster
+/// (runtime/process_cluster.hpp) runs it over real sockets.
 
 #include <cstdint>
 #include <thread>
@@ -25,6 +27,7 @@
 #include "core/scheme.hpp"
 #include "engine/training_engine.hpp"
 #include "opt/optimizer.hpp"
+#include "runtime/elasticity.hpp"
 #include "runtime/straggler.hpp"
 
 namespace coupon::runtime {
@@ -33,9 +36,12 @@ using engine::FailurePolicy;
 
 /// Training-run parameters: the engine's master-side options (inherited
 /// verbatim — iterations, on_failure, loss tracking) plus the threaded
-/// runtime's worker-delay injection.
+/// runtime's worker-delay injection and join/leave schedule.
 struct TrainOptions : engine::TrainOptions {
   StragglerInjection straggler;
+  /// Planned worker absences: the master skips broadcasting to a worker
+  /// in its leave window; the idle worker thread simply blocks on recv.
+  ElasticityPlan elasticity;
 };
 
 /// A master plus `n` worker threads bound to one scheme and one dataset.

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "comm/comm.hpp"
@@ -262,6 +265,231 @@ TEST(InProcNetwork, SendToClosedRankReturnsFalse) {
   m.source = 0;
   m.dest = 1;
   EXPECT_FALSE(net.send(std::move(m)));
+}
+
+// --- status pops (EOF distinct from timeout) ------------------------------------
+
+TEST(BlockingQueue, StatusPopDistinguishesItemTimeoutClosed) {
+  BlockingQueue<int> q;
+  q.push(5);
+  int out = 0;
+  EXPECT_EQ(q.pop(out), PopStatus::kItem);
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(10), out),
+            PopStatus::kTimeout);
+  q.push(6);
+  q.close();
+  EXPECT_EQ(q.pop(out), PopStatus::kItem);  // drains before reporting closed
+  EXPECT_EQ(out, 6);
+  EXPECT_EQ(q.pop(out), PopStatus::kClosed);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(10), out),
+            PopStatus::kClosed);
+}
+
+TEST(InProcNetwork, StatusRecvDistinguishesTimeoutFromClosed) {
+  InProcNetwork net(2);
+  Message out;
+  EXPECT_EQ(net.recv_for(1, std::chrono::milliseconds(10), out),
+            PopStatus::kTimeout);
+  Message m = sample_message();
+  m.source = 0;
+  m.dest = 1;
+  net.send(m);
+  EXPECT_EQ(net.recv(1, out), PopStatus::kItem);
+  EXPECT_EQ(out, m);
+  net.close_rank(1);
+  EXPECT_EQ(net.recv(1, out), PopStatus::kClosed);
+  EXPECT_EQ(net.recv_for(1, std::chrono::milliseconds(10), out),
+            PopStatus::kClosed);
+}
+
+// --- Transport seam -------------------------------------------------------------
+
+TEST(InProcessTransport, RoundTripBothDirections) {
+  InProcNetwork net(2);
+  InProcessTransport master(net, 0);
+  InProcessTransport worker(net, 1);
+  EXPECT_EQ(master.kind(), "inproc");
+  EXPECT_EQ(master.rank(), 0u);
+  EXPECT_EQ(master.num_ranks(), 2u);
+
+  Message m = sample_message();
+  m.dest = 1;
+  ASSERT_TRUE(master.send(std::move(m)));
+  RecvEvent at_worker = worker.recv();
+  ASSERT_EQ(at_worker.status, RecvStatus::kMessage);
+  EXPECT_EQ(at_worker.peer, 0u);  // send stamps the sender's rank
+  EXPECT_EQ(at_worker.message.source, 0);
+
+  Message reply = sample_message();
+  reply.dest = 0;
+  ASSERT_TRUE(worker.send(std::move(reply)));
+  RecvEvent at_master = master.recv_for(std::chrono::milliseconds(1000));
+  ASSERT_EQ(at_master.status, RecvStatus::kMessage);
+  EXPECT_EQ(at_master.peer, 1u);
+}
+
+TEST(InProcessTransport, TimeoutAndCloseStatuses) {
+  InProcNetwork net(2);
+  InProcessTransport master(net, 0);
+  EXPECT_EQ(master.recv_for(std::chrono::milliseconds(10)).status,
+            RecvStatus::kTimeout);
+  master.close();
+  EXPECT_EQ(master.recv().status, RecvStatus::kClosed);
+}
+
+// --- framed stream transport ----------------------------------------------------
+
+TEST(TcpTransport, FramingRoundTripOverSocketpair) {
+  if (!socketpair_available()) {
+    GTEST_SKIP() << "no AF_UNIX socketpair in this sandbox";
+  }
+  int fds[2];
+  ASSERT_TRUE(make_stream_socketpair(fds));
+  const Message m = sample_message();
+  ASSERT_TRUE(send_frame(fds[0], m));
+  Message out;
+  ASSERT_EQ(recv_frame(fds[1], std::chrono::milliseconds(1000), out),
+            FrameStatus::kMessage);
+  EXPECT_EQ(out, m);
+  // Timeout with no bytes pending, then EOF when the peer closes.
+  EXPECT_EQ(recv_frame(fds[1], std::chrono::milliseconds(10), out),
+            FrameStatus::kTimeout);
+  ::close(fds[0]);
+  EXPECT_EQ(recv_frame(fds[1], std::chrono::milliseconds(1000), out),
+            FrameStatus::kClosed);
+  ::close(fds[1]);
+}
+
+TEST(TcpTransport, FramingFuzzSizesOverSocketpair) {
+  if (!socketpair_available()) {
+    GTEST_SKIP() << "no AF_UNIX socketpair in this sandbox";
+  }
+  int fds[2];
+  ASSERT_TRUE(make_stream_socketpair(fds));
+  stats::Rng rng(7);
+  std::thread sender([&] {
+    stats::Rng sender_rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+      Message m;
+      m.dest = 0;
+      m.tag = kTagGradient;
+      m.iteration = trial;
+      m.meta.resize(sender_rng.uniform_int(64));
+      for (auto& v : m.meta) {
+        v = static_cast<std::int64_t>(sender_rng.next_u64());
+      }
+      m.payload.resize(sender_rng.uniform_int(4096));
+      for (auto& v : m.payload) {
+        v = sender_rng.normal();
+      }
+      ASSERT_TRUE(send_frame(fds[0], m));
+    }
+    ::close(fds[0]);
+  });
+  for (int trial = 0; trial < 50; ++trial) {
+    Message out;
+    ASSERT_EQ(recv_frame(fds[1], std::chrono::milliseconds(5000), out),
+              FrameStatus::kMessage);
+    EXPECT_EQ(out.iteration, trial);
+  }
+  Message out;
+  EXPECT_EQ(recv_frame(fds[1], std::chrono::milliseconds(5000), out),
+            FrameStatus::kClosed);
+  sender.join();
+  ::close(fds[1]);
+}
+
+TEST(TcpTransport, MasterWorkerRoundTripAndPeerClosed) {
+  if (!socketpair_available()) {
+    GTEST_SKIP() << "no AF_UNIX socketpair in this sandbox";
+  }
+  int a[2];
+  int b[2];
+  ASSERT_TRUE(make_stream_socketpair(a));
+  ASSERT_TRUE(make_stream_socketpair(b));
+  auto master = TcpTransport::master({a[0], b[0]});
+  auto worker1 = TcpTransport::worker(a[1], 1, 3);
+  auto worker2 = TcpTransport::worker(b[1], 2, 3);
+  EXPECT_EQ(master->kind(), "tcp");
+  EXPECT_EQ(master->num_ranks(), 3u);
+
+  Message m = sample_message();
+  m.dest = 2;
+  ASSERT_TRUE(master->send(std::move(m)));
+  RecvEvent at_worker = worker2->recv();
+  ASSERT_EQ(at_worker.status, RecvStatus::kMessage);
+  EXPECT_EQ(at_worker.message.source, 0);
+
+  Message reply = sample_message();
+  reply.dest = 0;
+  ASSERT_TRUE(worker1->send(std::move(reply)));
+  RecvEvent at_master = master->recv_for(std::chrono::milliseconds(5000));
+  ASSERT_EQ(at_master.status, RecvStatus::kMessage);
+  EXPECT_EQ(at_master.peer, 1u);
+  EXPECT_EQ(at_master.message.source, 1);
+
+  EXPECT_EQ(master->recv_for(std::chrono::milliseconds(10)).status,
+            RecvStatus::kTimeout);
+
+  // Worker 2 goes away: the master sees exactly one kPeerClosed for it.
+  worker2->close();
+  RecvEvent eof = master->recv_for(std::chrono::milliseconds(5000));
+  ASSERT_EQ(eof.status, RecvStatus::kPeerClosed);
+  EXPECT_EQ(eof.peer, 2u);
+
+  // Master closes: the remaining worker observes kClosed.
+  master->close();
+  EXPECT_EQ(worker1->recv().status, RecvStatus::kClosed);
+  EXPECT_EQ(master->recv().status, RecvStatus::kClosed);
+}
+
+TEST(TcpTransport, StatsCountTraffic) {
+  if (!socketpair_available()) {
+    GTEST_SKIP() << "no AF_UNIX socketpair in this sandbox";
+  }
+  int fds[2];
+  ASSERT_TRUE(make_stream_socketpair(fds));
+  auto master = TcpTransport::master({fds[0]});
+  auto worker = TcpTransport::worker(fds[1], 1, 2);
+  Message m = sample_message();
+  const std::size_t wire = m.wire_size();
+  const std::size_t units = m.payload.size();
+  m.dest = 1;
+  ASSERT_TRUE(master->send(std::move(m)));
+  ASSERT_EQ(worker->recv().status, RecvStatus::kMessage);
+  EXPECT_EQ(master->stats().messages_sent, 1u);
+  EXPECT_EQ(master->stats().bytes_sent, wire);
+  EXPECT_EQ(master->stats().payload_units_sent, units);
+  EXPECT_EQ(worker->stats().messages_received, 1u);
+}
+
+TEST(TcpTransport, LoopbackListenerRoundTrip) {
+  if (!tcp_loopback_available()) {
+    GTEST_SKIP() << "no loopback TCP in this sandbox";
+  }
+  auto listener = TcpListener::open();
+  ASSERT_NE(listener, nullptr);
+  std::thread client([port = listener->port()] {
+    const int fd = tcp_connect_loopback(port, std::chrono::milliseconds(5000));
+    ASSERT_GE(fd, 0);
+    auto worker = TcpTransport::worker(fd, 1, 2);
+    RecvEvent event = worker->recv();
+    ASSERT_EQ(event.status, RecvStatus::kMessage);
+    Message reply = event.message;
+    reply.dest = 0;
+    ASSERT_TRUE(worker->send(std::move(reply)));
+  });
+  const int accepted = listener->accept_fd(std::chrono::milliseconds(5000));
+  ASSERT_GE(accepted, 0);
+  auto master = TcpTransport::master({accepted});
+  Message m = sample_message();
+  m.dest = 1;
+  ASSERT_TRUE(master->send(std::move(m)));
+  RecvEvent echoed = master->recv_for(std::chrono::milliseconds(5000));
+  ASSERT_EQ(echoed.status, RecvStatus::kMessage);
+  EXPECT_EQ(echoed.peer, 1u);
+  client.join();
 }
 
 TEST(InProcNetwork, CrossThreadPingPong) {

@@ -226,9 +226,13 @@ TEST(RuntimeFactory, SpellingsAndNames) {
   EXPECT_EQ(driver::make_runtime("simulated")->name(), "sim");
   EXPECT_EQ(driver::make_runtime("threaded")->name(), "threaded");
   EXPECT_EQ(driver::make_runtime("threads")->name(), "threaded");
+  EXPECT_EQ(driver::make_runtime("process")->name(), "process");
+  EXPECT_EQ(driver::make_runtime("processes")->name(), "process");
+  EXPECT_EQ(driver::make_runtime("proc")->name(), "process");
   EXPECT_EQ(driver::make_runtime("mpi"), nullptr);
-  EXPECT_EQ(driver::runtime_names().size(), 2u);
+  EXPECT_EQ(driver::runtime_names().size(), 3u);
   EXPECT_NE(driver::runtime_choices().find("sim"), std::string::npos);
+  EXPECT_NE(driver::runtime_choices().find("process"), std::string::npos);
 }
 
 TEST(Driver, ConfigFromSimScenarioCopiesParametersAndCluster) {

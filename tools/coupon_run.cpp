@@ -34,6 +34,7 @@
 
 #include "core/scheme_registry.hpp"
 #include "driver/driver.hpp"
+#include "driver/runtime_registry.hpp"
 #include "driver/sweep.hpp"
 #include "util/util.hpp"
 
@@ -110,13 +111,42 @@ int list_registries() {
     const std::string spelling =
         entry->param_builder && !entry->builder ? entry->name + ":<arg>"
                                                 : entry->name;
-    std::printf("  %-14s%s\n      %s\n", spelling.c_str(),
-                entry->sim_only ? " [sim only]" : "",
+    std::string tags;
+    if (entry->sim_only) {
+      tags += " [sim only]";
+    }
+    if (entry->live_only) {
+      tags += " [live only]";
+    }
+    std::printf("  %-14s%s\n      %s\n", spelling.c_str(), tags.c_str(),
                 entry->description.c_str());
   }
   std::printf("\nruntimes:\n");
-  for (const auto& name : coupon::driver::runtime_names()) {
-    std::printf("  %s\n", name.c_str());
+  const auto& runtimes = coupon::driver::RuntimeRegistry::instance();
+  for (const auto& name : runtimes.names()) {
+    const auto* entry = runtimes.find(name);
+    std::string tags;
+    if (entry->caps.computes_gradients) {
+      tags += " [trains]";
+    }
+    if (entry->caps.simulated_clock) {
+      tags += " [simulated-clock]";
+    }
+    if (entry->caps.honours_elasticity) {
+      tags += " [elastic]";
+    }
+    if (entry->caps.spawns_processes) {
+      tags += " [processes]";
+    }
+    std::string aliases;
+    for (const auto& alias : entry->aliases) {
+      aliases += aliases.empty() ? alias : ", " + alias;
+    }
+    if (!aliases.empty()) {
+      aliases = " (aliases: " + aliases + ")";
+    }
+    std::printf("  %-14s%s\n      %s%s\n", entry->name.c_str(), tags.c_str(),
+                entry->description.c_str(), aliases.c_str());
   }
   return 0;
 }
