@@ -16,10 +16,13 @@
 // axis, all cells in parallel on the thread pool; the placement average
 // is a fold over the returned records.
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "driver/driver.hpp"
+#include "driver/predict.hpp"
 #include "driver/sweep.hpp"
 #include "util/util.hpp"
 
@@ -55,13 +58,19 @@ int main(int argc, char** argv) {
 
     std::printf("r sweep — %s, %zu iterations x %zu placements\n\n",
                 base.name.c_str(), iterations, placements);
-    coupon::AsciiTable table({"r", "BCC K", "BCC total (s)", "BCC failed",
-                              "CR K", "CR total (s)"});
+    coupon::AsciiTable table({"r", "BCC K", "BCC total (s)", "BCC pred (s)",
+                              "BCC failed", "CR K", "CR total (s)",
+                              "CR pred (s)"});
     // Cell order is scheme-major, then r, then placement seed:
     // records[s * loads * placements + l * placements + p].
     const std::size_t stride = plan.loads.size() * placements;
+    // Measured and oracle-predicted per-(scheme, r) totals, averaged over
+    // the same placement seeds; argmins drive the r* overlay below.
+    std::vector<double> bcc_measured, bcc_predicted, cr_measured,
+        cr_predicted;
     for (std::size_t l = 0; l < plan.loads.size(); ++l) {
       double bcc_k = 0.0, bcc_total = 0.0, cr_k = 0.0, cr_total = 0.0;
+      double bcc_pred = 0.0, cr_pred = 0.0;
       std::size_t bcc_failed = 0;
       for (std::size_t p = 0; p < placements; ++p) {
         const auto& bcc = records[0 * stride + l * placements + p];
@@ -71,17 +80,55 @@ int main(int argc, char** argv) {
         bcc_failed += bcc.failures;
         cr_k += cr.recovery_threshold;
         cr_total += cr.total_time;
+        for (const auto& cell : {&bcc, &cr}) {
+          auto config = plan.base;
+          config.scheme = cell->scheme;
+          config.load = cell->load;
+          config.seed = cell->seed;
+          const auto prediction = coupon::driver::predict_cell(config);
+          // An unsupported cell poisons its (scheme, r) average so the
+          // r* argmin can never select it.
+          const double total =
+              prediction.has_value()
+                  ? prediction->expected_time * static_cast<double>(iterations)
+                  : std::numeric_limits<double>::infinity();
+          (cell == &bcc ? bcc_pred : cr_pred) += total;
+        }
       }
       const auto denom = static_cast<double>(placements);
+      bcc_measured.push_back(bcc_total / denom);
+      bcc_predicted.push_back(bcc_pred / denom);
+      cr_measured.push_back(cr_total / denom);
+      cr_predicted.push_back(cr_pred / denom);
+      const auto pred_cell = [denom](double total) {
+        return std::isfinite(total) ? coupon::format_double(total / denom, 3)
+                                    : std::string("-");
+      };
       table.add_row({std::to_string(plan.loads[l]),
                      coupon::format_double(bcc_k / denom, 1),
                      coupon::format_double(bcc_total / denom, 3),
+                     pred_cell(bcc_pred),
                      std::to_string(bcc_failed / placements),
                      coupon::format_double(cr_k / denom, 1),
-                     coupon::format_double(cr_total / denom, 3)});
+                     coupon::format_double(cr_total / denom, 3),
+                     pred_cell(cr_pred)});
     }
     std::fputs(table.render().c_str(), stdout);
-    std::printf("\n");
+    const auto argmin = [](const std::vector<double>& values) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < values.size(); ++i) {
+        if (values[i] < values[best]) {
+          best = i;
+        }
+      }
+      return best;
+    };
+    std::printf("  predictor r* vs measured best r — BCC: %zu vs %zu, "
+                "CR: %zu vs %zu\n\n",
+                plan.loads[argmin(bcc_predicted)],
+                plan.loads[argmin(bcc_measured)],
+                plan.loads[argmin(cr_predicted)],
+                plan.loads[argmin(cr_measured)]);
   }
   std::printf("Shape: BCC total falls steeply with r (K ~ (m/r)log(m/r)) "
               "then flattens once compute\ndominates; CR needs much "

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "driver/driver.hpp"
+#include "driver/predict.hpp"
 #include "driver/sweep.hpp"
 #include "util/util.hpp"
 
@@ -46,11 +47,24 @@ int main(int argc, char** argv) {
 
     std::printf("scenario (n=%zu, m=%zu batches), %zu iterations:\n",
                 uncoded.num_workers, uncoded.num_units, uncoded.iterations);
-    coupon::AsciiTable table({"scheme", "total running time (s)"});
+    coupon::AsciiTable table(
+        {"scheme", "total running time (s)", "predicted exact (s)"});
     table.set_align(0, coupon::Align::kLeft);
     for (const auto* record : {&uncoded, &cr, &bcc}) {
+      // Zero-simulation oracle prediction for the same cell; "-" when
+      // the scheme/scenario pair has no exact reduction.
+      auto cell = plan.base;
+      cell.scheme = record->scheme;
+      cell.seed = record->seed;
+      const auto prediction = coupon::driver::predict_cell(cell);
       table.add_row({record->scheme_display,
-                     coupon::format_double(record->total_time, 3)});
+                     coupon::format_double(record->total_time, 3),
+                     prediction.has_value()
+                         ? coupon::format_double(
+                               prediction->expected_time *
+                                   static_cast<double>(record->iterations),
+                               3)
+                         : "-"});
     }
     std::fputs(table.render().c_str(), stdout);
 

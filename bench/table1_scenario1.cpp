@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "driver/driver.hpp"
+#include "driver/predict.hpp"
 #include "driver/sweep.hpp"
 #include "util/util.hpp"
 
@@ -38,6 +39,10 @@ int main(int argc, char** argv) {
   std::printf("Table I — running-time breakdown, scenario one (n=%zu, m=%zu "
               "batches)\n\n", plan.base.num_workers, plan.base.num_units);
   std::fputs(coupon::driver::summary_table(records).render().c_str(), stdout);
+  std::fputs(coupon::driver::measured_vs_predicted_table(plan.base, records)
+                 .render()
+                 .c_str(),
+             stdout);
   std::printf(
       "\nPaper (EC2 t2.micro): uncoded K=50 total=28.786s, CR K=41 "
       "total=13.990s, BCC K=11 total=4.205s.\n"

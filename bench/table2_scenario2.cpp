@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "driver/driver.hpp"
+#include "driver/predict.hpp"
 #include "driver/sweep.hpp"
 #include "util/util.hpp"
 
@@ -39,6 +40,10 @@ int main(int argc, char** argv) {
               "m=%zu batches)\n\n", plan.base.num_workers,
               plan.base.num_units);
   std::fputs(coupon::driver::summary_table(records).render().c_str(), stdout);
+  std::fputs(coupon::driver::measured_vs_predicted_table(plan.base, records)
+                 .render()
+                 .c_str(),
+             stdout);
   std::printf(
       "\nPaper (EC2 t2.micro): uncoded K=100 total=33.020s, CR K=91 "
       "total=29.482s, BCC K=25 total=8.931s.\n"

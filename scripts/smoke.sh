@@ -24,6 +24,23 @@ test -s "${TMP_DIR}/threaded.csv"
 run "${BUILD_DIR}/tools/coupon_run" --scheme cr --scenario lossy \
     --runtime sim --iterations 5 --out -
 run "${BUILD_DIR}/tools/coupon_run" --list
+"${BUILD_DIR}/tools/coupon_run" --list | grep -q "analytic models"
+
+# --- analytic oracle gate ------------------------------------------------
+# --predict is zero-simulation and fully deterministic: two invocations
+# must be byte-identical; --scheme auto must resolve and run end-to-end;
+# an unsupported pair must fail with a ranked-table-free diagnostic.
+echo "==> coupon_run --predict determinism + auto"
+"${BUILD_DIR}/tools/coupon_run" --predict --scheme all \
+    --scenario shifted_exp --workers 20 --units 20 --loads 2,4,10 \
+    > "${TMP_DIR}/predict_a.txt"
+"${BUILD_DIR}/tools/coupon_run" --predict --scheme all \
+    --scenario shifted_exp --workers 20 --units 20 --loads 2,4,10 \
+    > "${TMP_DIR}/predict_b.txt"
+cmp "${TMP_DIR}/predict_a.txt" "${TMP_DIR}/predict_b.txt"
+grep -q "E\[T\]" "${TMP_DIR}/predict_a.txt"
+run "${BUILD_DIR}/tools/coupon_run" --scheme auto --scenario shifted_exp \
+    --workers 10 --units 10 --load 2 --iterations 5 --out -
 
 # Simulated training (real gradients over simulated time): the summary
 # row must carry a final loss and a reached time_to_target.

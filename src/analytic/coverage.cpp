@@ -1,0 +1,102 @@
+#include "analytic/coverage.hpp"
+
+#include <bit>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace coupon::analytic {
+
+std::vector<double> binomial_row(std::size_t n) {
+  std::vector<double> row(n + 1, 0.0);
+  row[0] = 1.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = i; j >= 1; --j) {
+      row[j] += row[j - 1];
+    }
+  }
+  return row;
+}
+
+std::vector<double> coverage_threshold(std::size_t n, std::size_t threshold) {
+  COUPON_ASSERT(threshold >= 1 && threshold <= n);
+  std::vector<double> a(n + 1, 0.0);
+  for (std::size_t j = threshold; j <= n; ++j) {
+    a[j] = 1.0;
+  }
+  return a;
+}
+
+std::vector<double> coverage_partition(
+    std::size_t n, const std::vector<std::size_t>& group_sizes) {
+  COUPON_ASSERT(!group_sizes.empty());
+  COUPON_ASSERT(std::accumulate(group_sizes.begin(), group_sizes.end(),
+                                std::size_t{0}) == n);
+  std::vector<double> a(n + 1, 0.0);
+  for (std::size_t size : group_sizes) {
+    if (size == 0) {
+      return a;  // an uncovered group: no subset is ever ready
+    }
+  }
+
+  // covering[j] = number of j-subsets of the n workers hitting every
+  // group at least once: the coefficient of x^j in
+  // prod_groups (sum_{i=1..c_b} C(c_b, i) x^i).
+  std::vector<double> covering(n + 1, 0.0);
+  covering[0] = 1.0;
+  std::size_t degree = 0;  // highest populated coefficient so far
+  for (std::size_t size : group_sizes) {
+    const std::vector<double> choose = binomial_row(size);
+    std::vector<double> next(n + 1, 0.0);
+    for (std::size_t j = 0; j <= degree; ++j) {
+      if (covering[j] == 0.0) {
+        continue;
+      }
+      for (std::size_t i = 1; i <= size && j + i <= n; ++i) {
+        next[j + i] += covering[j] * choose[i];
+      }
+    }
+    covering = std::move(next);
+    degree += size;
+  }
+
+  const std::vector<double> all = binomial_row(n);
+  for (std::size_t j = 1; j <= n; ++j) {
+    a[j] = covering[j] / all[j];
+  }
+  return a;
+}
+
+std::vector<double> coverage_union_masks(
+    const std::vector<std::uint64_t>& unit_masks, std::size_t num_units) {
+  const std::size_t n = unit_masks.size();
+  COUPON_ASSERT_MSG(n >= 1 && n <= 24,
+                    "2^n subset enumeration needs n <= 24, got n=" << n);
+  COUPON_ASSERT_MSG(num_units >= 1 && num_units <= 64,
+                    "unit bitmasks need m <= 64, got m=" << num_units);
+  const std::uint64_t full = num_units == 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << num_units) - 1;
+
+  // union_of[s] built incrementally: union over the workers in subset s.
+  const std::size_t subsets = std::size_t{1} << n;
+  std::vector<std::uint64_t> union_of(subsets, 0);
+  std::vector<double> covering(n + 1, 0.0);
+  covering[0] = full == 0 ? 1.0 : 0.0;
+  for (std::size_t s = 1; s < subsets; ++s) {
+    const std::size_t low = std::countr_zero(s);
+    union_of[s] = union_of[s & (s - 1)] | unit_masks[low];
+    if (union_of[s] == full) {
+      covering[static_cast<std::size_t>(std::popcount(s))] += 1.0;
+    }
+  }
+
+  const std::vector<double> all = binomial_row(n);
+  std::vector<double> a(n + 1, 0.0);
+  for (std::size_t j = 0; j <= n; ++j) {
+    a[j] = covering[j] / all[j];
+  }
+  return a;
+}
+
+}  // namespace coupon::analytic

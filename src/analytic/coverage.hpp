@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file coverage.hpp
+/// Exact coverage profiles: the combinatorial half of the analytic
+/// oracle (DESIGN.md §10).
+///
+/// With iid compute times and equal per-worker loads, the identity order
+/// in which workers' messages arrive is a uniform random permutation,
+/// independent of the sorted arrival times; and conditional on any set
+/// of present (non-dropped) workers, the first k arrivals form a uniform
+/// k-subset of all n workers. Every scheme's "when is the master ready?"
+/// question therefore reduces to one table
+///
+///     A[j] = P(a uniform j-subset of the n workers makes the
+///              scheme's collector ready),       j = 0..n,
+///
+/// the *coverage profile* of the realized placement. A is nondecreasing,
+/// and P(ready exactly at the k-th arrival | R present) = A[k] - A[k-1]
+/// for k < R, with the remaining 1 - A[R-1] mass landing on the full
+/// drain at k = R (success at R or coverage failure). These functions
+/// compute A exactly per combinatorial structure:
+///
+///   * threshold schemes (uncoded: k = n; CR: k = n-r+1) — indicator;
+///   * partition coverage (FR blocks, BCC realized batch choices) — a
+///     subset-counting DP over the group-size multiset;
+///   * arbitrary unit sets (simple_random) — exact enumeration of all
+///     2^n worker subsets via unit bitmasks (n <= 24, m <= 64).
+///
+/// Counts are carried in doubles (exact up to the usual 1e-15 relative
+/// rounding; C(100, 50) ~ 1e29 is far below the double range).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coupon::analytic {
+
+/// A[j] = [j >= threshold]: ready as soon as `threshold` of the `n`
+/// workers are heard (uncoded: threshold = n, CR: threshold = n-r+1).
+std::vector<double> coverage_threshold(std::size_t n, std::size_t threshold);
+
+/// Partition coverage: each worker belongs to exactly one group;
+/// `group_sizes` lists the number of workers per group (must sum to n).
+/// Ready iff every group has at least one member in the subset. A group
+/// of size 0 (a BCC batch no worker picked) makes coverage impossible:
+/// A[j] = 0 for all j — the realized placement fails every iteration.
+std::vector<double> coverage_partition(std::size_t n,
+                                       const std::vector<std::size_t>&
+                                           group_sizes);
+
+/// General unit-set coverage: worker i covers the units in bitmask
+/// `unit_masks[i]`; ready iff the subset's union covers all `num_units`
+/// units. Exact 2^n enumeration — requires n <= 24 and num_units <= 64
+/// (callers gate and report larger instances as unsupported).
+std::vector<double> coverage_union_masks(
+    const std::vector<std::uint64_t>& unit_masks, std::size_t num_units);
+
+/// Binomial coefficient table row: C(n, 0..n) in doubles.
+std::vector<double> binomial_row(std::size_t n);
+
+}  // namespace coupon::analytic

@@ -1,0 +1,196 @@
+#include "analytic/dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace coupon::analytic {
+
+namespace {
+
+double shifted_exp_cdf(double shift, double rate, double x) {
+  if (x <= shift) {
+    return 0.0;
+  }
+  return -std::expm1(-rate * (x - shift));
+}
+
+}  // namespace
+
+ComputeDist ComputeDist::shifted_exp_mixture(
+    std::vector<ShiftedExpComponent> components) {
+  COUPON_ASSERT(!components.empty());
+  double total = 0.0;
+  for (const auto& c : components) {
+    COUPON_ASSERT_MSG(c.weight > 0.0 && c.shift >= 0.0 && c.rate > 0.0,
+                      "weight=" << c.weight << " shift=" << c.shift
+                                << " rate=" << c.rate);
+    total += c.weight;
+  }
+  COUPON_ASSERT_MSG(std::abs(total - 1.0) < 1e-12,
+                    "mixture weights sum to " << total);
+  ComputeDist dist;
+  dist.kind_ = Kind::kShiftedExpMixture;
+  dist.components_ = std::move(components);
+  return dist;
+}
+
+ComputeDist ComputeDist::pareto(double scale, double shape) {
+  COUPON_ASSERT_MSG(scale > 0.0 && shape > 1.0,
+                    "scale=" << scale << " shape=" << shape
+                             << " (mean requires shape > 1)");
+  ComputeDist dist;
+  dist.kind_ = Kind::kPareto;
+  dist.pareto_ = stats::Pareto{scale, shape};
+  return dist;
+}
+
+ComputeDist ComputeDist::weibull(double shape, double scale) {
+  COUPON_ASSERT_MSG(shape > 0.0 && scale > 0.0,
+                    "shape=" << shape << " scale=" << scale);
+  ComputeDist dist;
+  dist.kind_ = Kind::kWeibull;
+  dist.weibull_ = stats::Weibull{shape, scale};
+  return dist;
+}
+
+std::optional<ComputeDist> ComputeDist::from_law(
+    const simulate::LatencyLaw& law, double load, std::string* reason) {
+  using Family = simulate::LatencyLaw::Family;
+  COUPON_ASSERT(load > 0.0);
+  const auto fail = [&](const std::string& why) -> std::optional<ComputeDist> {
+    if (reason != nullptr) {
+      *reason = why;
+    }
+    return std::nullopt;
+  };
+
+  switch (law.family) {
+    case Family::kShiftedExp: {
+      if (law.heterogeneous) {
+        return fail(
+            "per-worker latency overrides make compute times non-iid; "
+            "the order-statistic reduction needs one homogeneous law");
+      }
+      const auto base = stats::ShiftedExponential::for_load(
+          law.compute_shift, law.compute_straggle, load);
+      return shifted_exp_mixture({{1.0, base.shift, base.rate}});
+    }
+    case Family::kBimodal:
+    case Family::kMarkov: {
+      // Scaling ShiftedExp(shift, rate) by f gives
+      // ShiftedExp(f*shift, rate/f). For Markov the mixture weight is the
+      // chain's stationary slow fraction — exact per iteration because
+      // the model initializes every worker from the stationary law.
+      const double slow_weight =
+          law.family == Family::kBimodal
+              ? law.slow_probability
+              : law.p_enter / (law.p_enter + law.p_exit);
+      const auto base = stats::ShiftedExponential::for_load(
+          law.compute_shift, law.compute_straggle, load);
+      const double f = law.slow_factor;
+      if (slow_weight <= 0.0) {
+        return shifted_exp_mixture({{1.0, base.shift, base.rate}});
+      }
+      if (slow_weight >= 1.0) {
+        return shifted_exp_mixture({{1.0, f * base.shift, base.rate / f}});
+      }
+      return shifted_exp_mixture(
+          {{1.0 - slow_weight, base.shift, base.rate},
+           {slow_weight, f * base.shift, base.rate / f}});
+    }
+    case Family::kPareto:
+      if (law.shape <= 1.0) {
+        return fail("Pareto shape <= 1 has no finite mean (see theory.hpp)");
+      }
+      return pareto(law.scale_per_unit * load, law.shape);
+    case Family::kWeibull:
+      return weibull(law.shape, law.scale_per_unit * load);
+    case Family::kOpaque:
+      break;
+  }
+  return fail(
+      "latency model reports no closed-form law (trace replay or an "
+      "out-of-tree model) — Monte Carlo only");
+}
+
+double ComputeDist::cdf(double x) const {
+  switch (kind_) {
+    case Kind::kShiftedExpMixture: {
+      double p = 0.0;
+      for (const auto& c : components_) {
+        p += c.weight * shifted_exp_cdf(c.shift, c.rate, x);
+      }
+      return p;
+    }
+    case Kind::kPareto:
+      return pareto_.cdf(x);
+    case Kind::kWeibull:
+      return weibull_.cdf(x);
+  }
+  return 0.0;
+}
+
+double ComputeDist::support_min() const {
+  switch (kind_) {
+    case Kind::kShiftedExpMixture: {
+      double lo = components_.front().shift;
+      for (const auto& c : components_) {
+        lo = std::min(lo, c.shift);
+      }
+      return lo;
+    }
+    case Kind::kPareto:
+      return pareto_.scale;
+    case Kind::kWeibull:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double ComputeDist::upper_bracket(double epsilon) const {
+  COUPON_ASSERT(epsilon > 0.0 && epsilon < 1.0);
+  switch (kind_) {
+    case Kind::kShiftedExpMixture: {
+      // Each component's tail is below epsilon at its own quantile; the
+      // mixture tail is below epsilon at the max of the per-component
+      // (epsilon / weight-sum) quantiles — use the conservative max of
+      // per-component epsilon-quantiles shifted by -log(weight).
+      double hi = 0.0;
+      for (const auto& c : components_) {
+        const double tail = epsilon / components_.size() / c.weight;
+        hi = std::max(hi, c.shift - std::log(std::min(1.0, tail)) / c.rate);
+      }
+      return hi;
+    }
+    case Kind::kPareto:
+      return pareto_.quantile(1.0 - epsilon);
+    case Kind::kWeibull:
+      return weibull_.quantile(1.0 - epsilon);
+  }
+  return 0.0;
+}
+
+double ComputeDist::mean() const {
+  switch (kind_) {
+    case Kind::kShiftedExpMixture: {
+      double m = 0.0;
+      for (const auto& c : components_) {
+        m += c.weight * (c.shift + 1.0 / c.rate);
+      }
+      return m;
+    }
+    case Kind::kPareto:
+      return pareto_.mean();
+    case Kind::kWeibull:
+      return weibull_.mean();
+  }
+  return 0.0;
+}
+
+bool ComputeDist::is_pure_shifted_exp() const {
+  return kind_ == Kind::kShiftedExpMixture && components_.size() == 1;
+}
+
+}  // namespace coupon::analytic

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file dist.hpp
+/// Exact per-worker compute-time distributions for the analytic oracle
+/// (DESIGN.md §10).
+///
+/// The oracle's order-statistic engine (order_stats.hpp) only needs a
+/// CDF, a support minimum, and a high-quantile bracket from the
+/// compute-time law, so this type covers every latency model the
+/// simulator can describe in closed form:
+///
+///   * shifted_exp (Eq. 15)                — one shifted-exp component;
+///   * bimodal "bursty" slowdowns          — a two-component mixture
+///     (scaling a ShiftedExp(shift, rate) by f gives
+///     ShiftedExp(f*shift, rate/f));
+///   * markov persistent stragglers        — the *same* two-component
+///     mixture with the chain's stationary slow weight
+///     pi = p_enter/(p_enter+p_exit): every iteration's marginal state
+///     is stationary because `MarkovStragglerModel` initializes from the
+///     stationary law, so per-iteration expectations are exact (the
+///     cross-iteration correlation only affects run-total variance);
+///   * pareto / weibull                    — the heavy- and
+///     stretched-tail laws, via stats::Pareto / stats::Weibull.
+///
+/// Everything here is deterministic: no RNG is linked anywhere under
+/// src/analytic/ — the subsystem's contract is that two identical calls
+/// return bitwise-identical doubles.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simulate/latency_model.hpp"
+#include "stats/distributions.hpp"
+
+namespace coupon::analytic {
+
+/// One shifted-exponential mixture component.
+struct ShiftedExpComponent {
+  double weight = 1.0;  ///< mixture weight, in (0, 1]
+  double shift = 0.0;   ///< deterministic floor (a * load * factor)
+  double rate = 1.0;    ///< exponential tail rate (mu / (load * factor))
+};
+
+/// A worker's compute-time distribution at a fixed load, in one of the
+/// closed forms the oracle can evaluate exactly.
+class ComputeDist {
+ public:
+  /// Mixture of shifted exponentials (1 component = the paper's Eq. 15).
+  static ComputeDist shifted_exp_mixture(
+      std::vector<ShiftedExpComponent> components);
+  static ComputeDist pareto(double scale, double shape);
+  static ComputeDist weibull(double shape, double scale);
+
+  /// Reduces a latency law at `load` units to a ComputeDist; nullopt for
+  /// laws without a closed form (opaque/trace, heterogeneous overrides),
+  /// with `reason` explaining why.
+  static std::optional<ComputeDist> from_law(const simulate::LatencyLaw& law,
+                                             double load,
+                                             std::string* reason);
+
+  double cdf(double x) const;
+
+  /// Infimum of the support (the smallest value a draw can take).
+  double support_min() const;
+
+  /// A value x with 1 - cdf(x) <= `epsilon`, for quadrature/bisection
+  /// brackets. Deterministic (closed-form per family).
+  double upper_bracket(double epsilon) const;
+
+  /// Exact mean of one draw (all supported families have one for the
+  /// parameters the scenarios use; Pareto requires shape > 1 — enforced
+  /// by from_law).
+  double mean() const;
+
+  /// True for a single-component shifted exponential — the family with
+  /// the O(R*G) Lindley fast path (order_stats.hpp).
+  bool is_pure_shifted_exp() const;
+
+  /// Components of a shifted-exp mixture (empty for pareto/weibull).
+  const std::vector<ShiftedExpComponent>& components() const {
+    return components_;
+  }
+
+ private:
+  enum class Kind { kShiftedExpMixture, kPareto, kWeibull };
+
+  ComputeDist() = default;
+
+  Kind kind_ = Kind::kShiftedExpMixture;
+  std::vector<ShiftedExpComponent> components_;  // shifted-exp mixture
+  stats::Pareto pareto_{};
+  stats::Weibull weibull_{};
+};
+
+}  // namespace coupon::analytic

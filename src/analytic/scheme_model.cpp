@@ -1,0 +1,252 @@
+#include "analytic/scheme_model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "analytic/coverage.hpp"
+#include "core/bcc.hpp"
+#include "core/cyclic_repetition.hpp"
+#include "core/fractional_repetition.hpp"
+#include "core/simple_random.hpp"
+#include "core/uncoded.hpp"
+
+namespace coupon::analytic {
+
+namespace {
+
+SchemeModelResult fail(std::string reason) {
+  return SchemeModelResult{std::nullopt, std::move(reason)};
+}
+
+SchemeModelResult ok(std::vector<double> table, double message_units) {
+  return SchemeModelResult{CoverageProfile{std::move(table), message_units},
+                           {}};
+}
+
+/// The exchangeability preconditions shared by every reduction: all
+/// workers compute the same number of units and ship the same-size
+/// message. Returns the common message size, or a reason.
+std::optional<std::string> check_exchangeable(const core::Scheme& scheme,
+                                              double* message_units) {
+  const auto& placement = scheme.placement();
+  const std::size_t n = scheme.num_workers();
+  const std::size_t load0 = placement.worker(0).size();
+  for (std::size_t w = 1; w < n; ++w) {
+    if (placement.worker(w).size() != load0) {
+      std::ostringstream out;
+      out << "unequal per-worker loads (|G_0|=" << load0 << ", |G_" << w
+          << "|=" << placement.worker(w).size()
+          << "): compute times are not iid, so the order-statistic "
+             "reduction does not apply";
+      return out.str();
+    }
+  }
+  const double units0 = scheme.message_units(0);
+  for (std::size_t w = 1; w < n; ++w) {
+    if (scheme.message_units(w) != units0) {
+      return "unequal per-worker message sizes: the serialized ingress "
+             "no longer has one common service time";
+    }
+  }
+  *message_units = units0;
+  return std::nullopt;
+}
+
+template <typename ConcreteScheme>
+const ConcreteScheme* cast_or_reason(const core::Scheme& scheme,
+                                     std::string_view expected,
+                                     std::string* reason) {
+  const auto* concrete = dynamic_cast<const ConcreteScheme*>(&scheme);
+  if (concrete == nullptr) {
+    std::ostringstream out;
+    out << "scheme instance registered as '" << scheme.registry_name()
+        << "' is not the built-in " << expected
+        << " implementation this model understands";
+    *reason = out.str();
+  }
+  return concrete;
+}
+
+class UncodedModel final : public SchemeRuntimeModel {
+ public:
+  std::string_view scheme_name() const override { return "uncoded"; }
+  std::string_view description() const override {
+    return "threshold n (wait-for-all; needs n | m for equal loads)";
+  }
+  SchemeModelResult coverage_profile(
+      const core::Scheme& scheme) const override {
+    std::string reason;
+    if (cast_or_reason<core::UncodedScheme>(scheme, "uncoded", &reason) ==
+        nullptr) {
+      return fail(std::move(reason));
+    }
+    double units = 1.0;
+    if (auto why = check_exchangeable(scheme, &units)) {
+      return fail(std::move(*why));  // n does not divide m
+    }
+    return ok(coverage_threshold(scheme.num_workers(), scheme.num_workers()),
+              units);
+  }
+};
+
+class CyclicRepetitionModel final : public SchemeRuntimeModel {
+ public:
+  std::string_view scheme_name() const override { return "cr"; }
+  std::string_view description() const override {
+    return "threshold n-r+1 (any n-s workers decode)";
+  }
+  SchemeModelResult coverage_profile(
+      const core::Scheme& scheme) const override {
+    std::string reason;
+    const auto* cr = cast_or_reason<core::CyclicRepetitionScheme>(
+        scheme, "cyclic repetition", &reason);
+    if (cr == nullptr) {
+      return fail(std::move(reason));
+    }
+    double units = 1.0;
+    if (auto why = check_exchangeable(scheme, &units)) {
+      return fail(std::move(*why));
+    }
+    const std::size_t n = scheme.num_workers();
+    return ok(coverage_threshold(n, n - cr->stragglers_tolerated()), units);
+  }
+};
+
+class FractionalRepetitionModel final : public SchemeRuntimeModel {
+ public:
+  std::string_view scheme_name() const override { return "fr"; }
+  std::string_view description() const override {
+    return "partition coverage over n/r replicated blocks";
+  }
+  SchemeModelResult coverage_profile(
+      const core::Scheme& scheme) const override {
+    std::string reason;
+    const auto* fr = cast_or_reason<core::FractionalRepetitionScheme>(
+        scheme, "fractional repetition", &reason);
+    if (fr == nullptr) {
+      return fail(std::move(reason));
+    }
+    double units = 1.0;
+    if (auto why = check_exchangeable(scheme, &units)) {
+      return fail(std::move(*why));
+    }
+    std::vector<std::size_t> group_sizes(fr->num_blocks(), 0);
+    for (std::size_t w = 0; w < scheme.num_workers(); ++w) {
+      ++group_sizes[fr->block_of_worker(w)];
+    }
+    return ok(coverage_partition(scheme.num_workers(), group_sizes), units);
+  }
+};
+
+class BccModel final : public SchemeRuntimeModel {
+ public:
+  std::string_view scheme_name() const override { return "bcc"; }
+  std::string_view description() const override {
+    return "partition coverage over the realized batch choices";
+  }
+  SchemeModelResult coverage_profile(
+      const core::Scheme& scheme) const override {
+    std::string reason;
+    const auto* bcc =
+        cast_or_reason<core::BccScheme>(scheme, "BCC", &reason);
+    if (bcc == nullptr) {
+      return fail(std::move(reason));
+    }
+    double units = 1.0;
+    if (auto why = check_exchangeable(scheme, &units)) {
+      return fail(std::move(*why));  // r does not divide m
+    }
+    // The profile conditions on the drawn batch choices sigma_1..sigma_n,
+    // exactly like one simulated run does. A batch no worker picked makes
+    // every iteration a coverage failure (A == 0 throughout).
+    std::vector<std::size_t> group_sizes(bcc->num_batches(), 0);
+    for (std::size_t w = 0; w < scheme.num_workers(); ++w) {
+      ++group_sizes[bcc->batch_of_worker(w)];
+    }
+    return ok(coverage_partition(scheme.num_workers(), group_sizes), units);
+  }
+};
+
+class SimpleRandomModel final : public SchemeRuntimeModel {
+ public:
+  std::string_view scheme_name() const override { return "simple_random"; }
+  std::string_view description() const override {
+    return "exact unit-set coverage by 2^n enumeration (n<=24, m<=64)";
+  }
+  SchemeModelResult coverage_profile(
+      const core::Scheme& scheme) const override {
+    std::string reason;
+    if (cast_or_reason<core::SimpleRandomScheme>(scheme, "simple randomized",
+                                                 &reason) == nullptr) {
+      return fail(std::move(reason));
+    }
+    const std::size_t n = scheme.num_workers();
+    const std::size_t m = scheme.num_units();
+    if (n > 24 || m > 64) {
+      std::ostringstream out;
+      out << "exact subset enumeration needs n <= 24 and m <= 64 (got n="
+          << n << ", m=" << m
+          << "); simple_random has no product structure to exploit — use "
+             "Monte Carlo at this size";
+      return fail(out.str());
+    }
+    double units = 1.0;
+    if (auto why = check_exchangeable(scheme, &units)) {
+      return fail(std::move(*why));
+    }
+    std::vector<std::uint64_t> masks(n, 0);
+    for (std::size_t w = 0; w < n; ++w) {
+      for (std::size_t unit : scheme.placement().worker(w)) {
+        masks[w] |= std::uint64_t{1} << unit;
+      }
+    }
+    return ok(coverage_union_masks(masks, m), units);
+  }
+};
+
+}  // namespace
+
+AnalyticModelRegistry& AnalyticModelRegistry::instance() {
+  static AnalyticModelRegistry registry;
+  return registry;
+}
+
+AnalyticModelRegistry::AnalyticModelRegistry() {
+  add(std::make_unique<UncodedModel>());
+  add(std::make_unique<FractionalRepetitionModel>());
+  add(std::make_unique<CyclicRepetitionModel>());
+  add(std::make_unique<BccModel>());
+  add(std::make_unique<SimpleRandomModel>());
+}
+
+void AnalyticModelRegistry::add(std::unique_ptr<SchemeRuntimeModel> model) {
+  if (model == nullptr) {
+    throw std::invalid_argument("analytic model must not be null");
+  }
+  if (find(model->scheme_name()) != nullptr) {
+    throw std::invalid_argument("duplicate analytic model for scheme '" +
+                                std::string(model->scheme_name()) + "'");
+  }
+  models_.push_back(std::move(model));
+}
+
+const SchemeRuntimeModel* AnalyticModelRegistry::find(
+    std::string_view scheme_name) const {
+  for (const auto& model : models_) {
+    if (model->scheme_name() == scheme_name) {
+      return model.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AnalyticModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& model : models_) {
+    out.emplace_back(model->scheme_name());
+  }
+  return out;
+}
+
+}  // namespace coupon::analytic

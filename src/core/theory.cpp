@@ -77,8 +77,15 @@ double lemma2_tail_bound(std::size_t m, double eps) {
 
 double expected_max_shifted_exponential(double a, double mu, double load,
                                         std::size_t n) {
+  return expected_kth_order_statistic_shifted_exp(a, mu, load, n, n);
+}
+
+double expected_kth_order_statistic_shifted_exp(double a, double mu,
+                                                double load, std::size_t n,
+                                                std::size_t k) {
   COUPON_ASSERT(mu > 0.0 && load > 0.0 && n > 0);
-  return a * load + load / mu * harmonic(n);
+  COUPON_ASSERT_MSG(k >= 1 && k <= n, "k=" << k << " n=" << n);
+  return a * load + load / mu * (harmonic(n) - harmonic(n - k));
 }
 
 double expected_max_pareto(double scale, double alpha, std::size_t n) {

@@ -96,6 +96,18 @@ double lemma2_tail_bound(std::size_t m, double eps);
 double expected_max_shifted_exponential(double a, double mu, double load,
                                         std::size_t n);
 
+/// Expected k-th order statistic (1 <= k <= n) of n i.i.d. shifted
+/// exponentials with shift a*load and rate mu/load. By the Rényi
+/// representation the gaps between consecutive order statistics are
+/// independent Exp((n-i) * mu/load), so
+///   E[X_(k)] = a*load + (load/mu) * (H_n - H_{n-k}).
+/// `expected_max_shifted_exponential` is the k = n special case, and the
+/// analytic oracle (src/analytic/) reproduces this formula numerically —
+/// the core_theory tests pin the two against each other.
+double expected_kth_order_statistic_shifted_exp(double a, double mu,
+                                                double load, std::size_t n,
+                                                std::size_t k);
+
 /// Expected max of n i.i.d. Pareto(scale, alpha) draws:
 ///   scale * Gamma(n+1) * Gamma(1 - 1/alpha) / Gamma(n+1 - 1/alpha)
 ///   ~ scale * Gamma(1 - 1/alpha) * n^{1/alpha},

@@ -22,8 +22,9 @@ ExperimentConfig config_from_sim_scenario(const simulate::ScenarioConfig& s) {
 }
 
 void add_experiment_flags(CliFlags& flags) {
-  flags.add_string("scheme", "bcc", "gradient-coding scheme (" +
-                                        scheme_choices() + ")")
+  flags.add_string("scheme", "bcc",
+                   "gradient-coding scheme (" + scheme_choices() +
+                       "; 'auto' = let the analytic oracle pick)")
       .add_string("scenario", "shifted_exp",
                   "straggler scenario (" + scenario_choices() + ")")
       .add_string("runtime", "sim",
@@ -69,7 +70,11 @@ std::optional<ExperimentConfig> config_from_flags(const CliFlags& flags) {
   ExperimentConfig config;
 
   config.scheme = flags.get_string("scheme");
-  if (core::SchemeRegistry::instance().find(config.scheme) == nullptr) {
+  // "auto" and "all" defer the choice to the analytic oracle: the caller
+  // resolves them via predict.hpp (resolve_auto_scheme / --predict)
+  // before anything runs.
+  if (config.scheme != "auto" && config.scheme != "all" &&
+      core::SchemeRegistry::instance().find(config.scheme) == nullptr) {
     std::fprintf(stderr, "%s\n",
                  core::SchemeRegistry::instance()
                      .unknown_message(config.scheme)

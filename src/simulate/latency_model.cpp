@@ -12,6 +12,8 @@ namespace coupon::simulate {
 void LatencyModel::begin_iteration(std::size_t /*iteration*/,
                                    stats::Rng& /*rng*/) {}
 
+LatencyLaw LatencyModel::law() const { return {}; }  // kOpaque
+
 ShiftedExpModel::ShiftedExpModel(double compute_shift,
                                  double compute_straggle,
                                  std::vector<WorkerLatency> worker_overrides)
@@ -37,6 +39,15 @@ double ShiftedExpModel::sample_compute_seconds(const LatencyContext& ctx,
   return stats::ShiftedExponential::for_load(a, mu, ctx.load).sample(rng);
 }
 
+LatencyLaw ShiftedExpModel::law() const {
+  LatencyLaw law;
+  law.family = LatencyLaw::Family::kShiftedExp;
+  law.compute_shift = compute_shift_;
+  law.compute_straggle = compute_straggle_;
+  law.heterogeneous = !worker_overrides_.empty();
+  return law;
+}
+
 ParetoModel::ParetoModel(double scale_per_unit, double shape)
     : scale_per_unit_(scale_per_unit), shape_(shape) {
   COUPON_ASSERT_MSG(scale_per_unit_ > 0.0 && shape_ > 0.0,
@@ -48,6 +59,14 @@ double ParetoModel::sample_compute_seconds(const LatencyContext& ctx,
   return stats::Pareto{scale_per_unit_ * ctx.load, shape_}.sample(rng);
 }
 
+LatencyLaw ParetoModel::law() const {
+  LatencyLaw law;
+  law.family = LatencyLaw::Family::kPareto;
+  law.scale_per_unit = scale_per_unit_;
+  law.shape = shape_;
+  return law;
+}
+
 WeibullModel::WeibullModel(double shape, double scale_per_unit)
     : shape_(shape), scale_per_unit_(scale_per_unit) {
   COUPON_ASSERT_MSG(shape_ > 0.0 && scale_per_unit_ > 0.0,
@@ -57,6 +76,14 @@ WeibullModel::WeibullModel(double shape, double scale_per_unit)
 double WeibullModel::sample_compute_seconds(const LatencyContext& ctx,
                                             stats::Rng& rng) {
   return stats::Weibull{shape_, scale_per_unit_ * ctx.load}.sample(rng);
+}
+
+LatencyLaw WeibullModel::law() const {
+  LatencyLaw law;
+  law.family = LatencyLaw::Family::kWeibull;
+  law.scale_per_unit = scale_per_unit_;
+  law.shape = shape_;
+  return law;
 }
 
 BimodalSlowdownModel::BimodalSlowdownModel(double compute_shift,
@@ -77,6 +104,14 @@ double BimodalSlowdownModel::sample_compute_seconds(const LatencyContext& ctx,
   const bool slow = rng.bernoulli(slow_probability_);
   const double base = base_.sample_compute_seconds(ctx, rng);
   return slow ? slow_factor_ * base : base;
+}
+
+LatencyLaw BimodalSlowdownModel::law() const {
+  LatencyLaw law = base_.law();
+  law.family = LatencyLaw::Family::kBimodal;
+  law.slow_probability = slow_probability_;
+  law.slow_factor = slow_factor_;
+  return law;
 }
 
 MarkovStragglerModel::MarkovStragglerModel(std::size_t num_workers,
@@ -120,6 +155,15 @@ double MarkovStragglerModel::sample_compute_seconds(const LatencyContext& ctx,
                               << slow_.size() << "-worker Markov chain");
   const double base = base_.sample_compute_seconds(ctx, rng);
   return slow_[ctx.worker] ? slow_factor_ * base : base;
+}
+
+LatencyLaw MarkovStragglerModel::law() const {
+  LatencyLaw law = base_.law();
+  law.family = LatencyLaw::Family::kMarkov;
+  law.slow_factor = slow_factor_;
+  law.p_enter = p_enter_;
+  law.p_exit = p_exit_;
+  return law;
 }
 
 TraceReplayModel::TraceReplayModel(const std::string& csv_path,

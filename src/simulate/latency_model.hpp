@@ -46,6 +46,38 @@ struct WorkerLatency {
   double compute_straggle = 1.0;  ///< mu_i
 };
 
+/// Machine-readable description of a model's compute-time law, exposed
+/// via `LatencyModel::law()` so the analytic oracle (src/analytic/) can
+/// recover the distribution family and parameters from an already-built
+/// model — `ClusterConfig::latency_model` is an opaque factory, so the
+/// model instance itself is the only place the law can be asked for.
+/// Families map onto the built-in models; out-of-tree models default to
+/// `kOpaque`, which the analytic layer reports as Monte-Carlo-only.
+struct LatencyLaw {
+  enum class Family {
+    kShiftedExp,  ///< Eq. 15: shift a*load, rate mu/load
+    kPareto,      ///< Pareto(scale_per_unit*load, shape)
+    kWeibull,     ///< Weibull(shape, scale_per_unit*load)
+    kBimodal,     ///< shifted-exp, x slow_factor w.p. slow_probability
+    kMarkov,      ///< two-state persistent stragglers over shifted-exp
+    kOpaque,      ///< trace replay / unknown: no analytic form
+  };
+
+  Family family = Family::kOpaque;
+  double compute_shift = 0.0;      ///< a (per unit); shifted-exp families
+  double compute_straggle = 0.0;   ///< mu; shifted-exp families
+  double scale_per_unit = 0.0;     ///< Pareto/Weibull scale per unit
+  double shape = 0.0;              ///< Pareto tail index / Weibull k
+  double slow_probability = 0.0;   ///< bimodal per-iteration slow chance
+  double slow_factor = 0.0;        ///< bimodal/markov slowdown multiple
+  double p_enter = 0.0;            ///< markov fast->slow per iteration
+  double p_exit = 0.0;             ///< markov slow->fast per iteration
+  /// Per-worker (a_i, mu_i) overrides are active: draws are independent
+  /// but not identically distributed, outside the exact order-statistic
+  /// reduction (the analytic layer reports the pair unsupported).
+  bool heterogeneous = false;
+};
+
 /// Everything a model may condition one draw on.
 struct LatencyContext {
   std::size_t worker = 0;     ///< worker id in [0, n)
@@ -71,6 +103,11 @@ class LatencyModel {
   /// Draws the compute time (seconds) of `ctx.worker` this iteration.
   virtual double sample_compute_seconds(const LatencyContext& ctx,
                                         stats::Rng& rng) = 0;
+
+  /// The model's distribution family and parameters, for the analytic
+  /// oracle. Defaults to `LatencyLaw::Family::kOpaque` (no exact form),
+  /// which is always a safe answer for out-of-tree models.
+  virtual LatencyLaw law() const;
 };
 
 /// Builds a fresh model for an `n`-worker cluster. Stored on
@@ -91,6 +128,7 @@ class ShiftedExpModel final : public LatencyModel {
   std::string_view name() const override { return "shifted_exp"; }
   double sample_compute_seconds(const LatencyContext& ctx,
                                 stats::Rng& rng) override;
+  LatencyLaw law() const override;
 
  private:
   double compute_shift_;
@@ -108,6 +146,7 @@ class ParetoModel final : public LatencyModel {
   std::string_view name() const override { return "pareto"; }
   double sample_compute_seconds(const LatencyContext& ctx,
                                 stats::Rng& rng) override;
+  LatencyLaw law() const override;
 
  private:
   double scale_per_unit_;
@@ -123,6 +162,7 @@ class WeibullModel final : public LatencyModel {
   std::string_view name() const override { return "weibull"; }
   double sample_compute_seconds(const LatencyContext& ctx,
                                 stats::Rng& rng) override;
+  LatencyLaw law() const override;
 
  private:
   double shape_;
@@ -141,6 +181,7 @@ class BimodalSlowdownModel final : public LatencyModel {
   std::string_view name() const override { return "bimodal"; }
   double sample_compute_seconds(const LatencyContext& ctx,
                                 stats::Rng& rng) override;
+  LatencyLaw law() const override;
 
  private:
   ShiftedExpModel base_;
@@ -167,6 +208,7 @@ class MarkovStragglerModel final : public LatencyModel {
   void begin_iteration(std::size_t iteration, stats::Rng& rng) override;
   double sample_compute_seconds(const LatencyContext& ctx,
                                 stats::Rng& rng) override;
+  LatencyLaw law() const override;
 
   /// Test hook: worker states after the last begin_iteration.
   const std::vector<char>& slow_states() const { return slow_; }

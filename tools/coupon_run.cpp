@@ -14,6 +14,11 @@
 //   # everything the registries know about
 //   $ coupon_run --list
 //
+//   # analytic oracle: exact E[T]/quantiles/failure ranking, zero
+//   # simulation; '--scheme auto' runs whatever the oracle ranks best
+//   $ coupon_run --predict --scheme all --loads 2,5,10,25
+//   $ coupon_run --scheme auto --scenario lossy
+//
 //   # parallel cartesian sweep, one summary CSV row + JSONL object per cell
 //   $ coupon_run --sweep --schemes bcc,cr --scenarios shifted_exp,lossy
 //         --loads 2,5,10 --iterations 20 --out sweep.csv --jsonl sweep.jsonl
@@ -32,10 +37,14 @@
 #include <string>
 #include <vector>
 
+#include "analytic/dist.hpp"
+#include "analytic/scheme_model.hpp"
 #include "core/scheme_registry.hpp"
 #include "driver/driver.hpp"
+#include "driver/predict.hpp"
 #include "driver/runtime_registry.hpp"
 #include "driver/sweep.hpp"
+#include "simulate/cluster_config.hpp"
 #include "util/util.hpp"
 
 namespace {
@@ -78,6 +87,23 @@ bool parse_size_list(const std::string& flag, const std::string& text,
   return true;
 }
 
+/// True when the scenario's latency law reduces to a closed form the
+/// analytic oracle can evaluate (probed at a representative size).
+bool scenario_is_analytic(const std::string& name) {
+  try {
+    const auto scenario =
+        coupon::driver::ScenarioRegistry::instance().build(name, 50);
+    if (scenario.live_only) {
+      return false;
+    }
+    const auto law =
+        simulate::make_latency_model(scenario.cluster, 50)->law();
+    return analytic::ComputeDist::from_law(law, 1.0, nullptr).has_value();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 int list_registries() {
   std::printf("schemes:\n");
   const auto& schemes = core::SchemeRegistry::instance();
@@ -92,6 +118,9 @@ int list_registries() {
     }
     if (entry->caps.requires_load_divides_workers) {
       tags += " [r|n]";
+    }
+    if (analytic::AnalyticModelRegistry::instance().find(name) != nullptr) {
+      tags += " [analytic]";
     }
     std::string aliases;
     for (const auto& alias : entry->aliases) {
@@ -117,6 +146,9 @@ int list_registries() {
     }
     if (entry->live_only) {
       tags += " [live only]";
+    }
+    if (scenario_is_analytic(entry->name)) {
+      tags += " [analytic]";
     }
     std::printf("  %-14s%s\n      %s\n", spelling.c_str(), tags.c_str(),
                 entry->description.c_str());
@@ -147,6 +179,44 @@ int list_registries() {
     }
     std::printf("  %-14s%s\n      %s%s\n", entry->name.c_str(), tags.c_str(),
                 entry->description.c_str(), aliases.c_str());
+  }
+  std::printf(
+      "\nanalytic models (--predict / --scheme auto; [analytic]-tagged "
+      "scheme x scenario pairs have exact oracles):\n");
+  const auto& models = analytic::AnalyticModelRegistry::instance();
+  for (const auto& name : models.names()) {
+    const auto* model = models.find(name);
+    std::printf("  %-14s\n      %s\n", name.c_str(),
+                std::string(model->description()).c_str());
+  }
+  return 0;
+}
+
+int run_predict(const CliFlags& flags,
+                const coupon::driver::ExperimentConfig& config) {
+  std::vector<std::size_t> loads;
+  if (!parse_size_list("loads", flags.get_string("loads"), loads)) {
+    return 1;
+  }
+  try {
+    const auto candidates =
+        coupon::driver::predict_candidates(config, loads);
+    const auto report = coupon::driver::predict_report(config, candidates);
+    std::fputs(coupon::driver::render_predict_report(report).c_str(),
+               stdout);
+    if (!report.ranked.empty()) {
+      const auto& best = report.ranked.front();
+      std::fprintf(stderr,
+                   "predicted best: %s r=%zu | scenario=%s n=%zu m=%zu "
+                   "seed=%llu | E[T]=%.4fs (exact, no simulation)\n",
+                   best.scheme.c_str(), best.load, config.scenario.c_str(),
+                   config.num_workers, config.num_units,
+                   static_cast<unsigned long long>(config.seed),
+                   best.expected_time);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "predict failed: %s\n", e.what());
+    return 1;
   }
   return 0;
 }
@@ -310,7 +380,11 @@ int main(int argc, char** argv) {
                   "sweep: comma-separated iterations axis")
       .add_string("seeds", "", "sweep: comma-separated seed axis")
       .add_string("jsonl", "", "sweep: also write one JSON object per cell")
-      .add_int("threads", 0, "sweep: worker threads (0 = hardware, 1 = serial)");
+      .add_int("threads", 0, "sweep: worker threads (0 = hardware, 1 = serial)")
+      .add_bool("predict", false,
+                "rank (scheme, r) candidates with the analytic oracle — "
+                "exact E[T]/quantiles/failure, zero simulation (use "
+                "--scheme all and --loads for the candidate grid)");
   if (!flags.parse(argc, argv)) {
     return 1;
   }
@@ -319,9 +393,36 @@ int main(int argc, char** argv) {
     return list_registries();
   }
 
-  const auto config = coupon::driver::config_from_flags(flags);
+  auto config = coupon::driver::config_from_flags(flags);
   if (!config) {
     return 1;
+  }
+
+  if (flags.get_bool("predict")) {
+    return run_predict(flags, *config);
+  }
+  if (config->scheme == "all") {
+    std::fprintf(stderr,
+                 "--scheme all is a --predict candidate grid; pick a "
+                 "concrete scheme (or auto) to run\n");
+    return 1;
+  }
+
+  if (config->scheme == "auto") {
+    if (flags.get_bool("sweep")) {
+      std::fprintf(stderr,
+                   "--scheme auto resolves one cell; in --sweep mode pass "
+                   "an explicit --schemes axis instead\n");
+      return 1;
+    }
+    try {
+      config->scheme = coupon::driver::resolve_auto_scheme(*config);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "--scheme auto -> %s (analytic oracle)\n",
+                 config->scheme.c_str());
   }
 
   if (flags.get_bool("sweep")) {
