@@ -1,8 +1,12 @@
 // Convergence vs. (simulated) wall-clock — the paper's headline EC2
 // experiment, reproduced on the TrainingEngine's simulated provider:
 // time for distributed GD to reach a target training loss under
-// stragglers, for uncoded / CR / FR / BCC across latency-model
-// scenarios.
+// stragglers, for uncoded / CR / FR / BCC and the gradient-coding
+// family (gc_cyclic / sgc / gc_nested) across latency-model scenarios.
+// Each row also prints the measured per-iteration time next to the
+// analytic oracle's exact E[T] for that scheme x scenario, so the table
+// doubles as a measured-vs-theory check ("-" where no exact reduction
+// exists: sgc's stochastic decode, scenarios outside the oracle's laws).
 //
 //   $ bench_fig6_convergence                 # paper-shaped grid
 //   $ bench_fig6_convergence --quick         # CI smoke grid
@@ -23,8 +27,12 @@
 #include <string>
 #include <vector>
 
+#include "analytic/predictor.hpp"
+#include "core/scheme_registry.hpp"
 #include "driver/driver.hpp"
+#include "driver/scenario_registry.hpp"
 #include "driver/sweep.hpp"
+#include "stats/rng.hpp"
 #include "util/util.hpp"
 
 namespace {
@@ -32,8 +40,8 @@ namespace {
 using namespace coupon;
 
 const std::vector<std::string>& schemes() {
-  static const std::vector<std::string> names = {"uncoded", "cr", "fr",
-                                                 "bcc"};
+  static const std::vector<std::string> names = {
+      "uncoded", "cr", "fr", "bcc", "gc_cyclic", "sgc", "gc_nested"};
   return names;
 }
 
@@ -41,6 +49,37 @@ const std::vector<std::string>& scenarios() {
   static const std::vector<std::string> names = {"shifted_exp", "heavy_tail",
                                                  "bursty"};
   return names;
+}
+
+/// The oracle's exact per-iteration E[T] for one grid cell, or "-" when
+/// no exact reduction exists (sgc's stochastic decode; unsupported
+/// scheme/law pairs). Rebuilds the cell's scheme from its seed; for
+/// deterministic placements (everything in the grid but bcc) that is the
+/// identical realization, while bcc — whose train-mode placement draw
+/// happens after the data draw — gets a same-seed, same-law reference
+/// placement rather than the exact conditional one.
+std::string theory_seconds_per_iter(const driver::RunRecord& record) {
+  try {
+    const auto scenario = driver::ScenarioRegistry::instance().build(
+        record.scenario, record.num_workers);
+    core::SchemeConfig config;
+    config.num_workers = record.num_workers;
+    config.num_units = record.num_units;
+    config.load = record.load;
+    stats::Rng rng(record.seed);
+    const auto scheme =
+        core::SchemeRegistry::instance().create(record.scheme, config, rng);
+    analytic::PredictOptions options;
+    options.quantiles = false;
+    const auto prediction =
+        analytic::predict(*scheme, scenario.cluster, options);
+    if (!prediction.has_value()) {
+      return "-";
+    }
+    return format_double(prediction->expected_time, 4);
+  } catch (const std::exception&) {
+    return "-";
+  }
 }
 
 }  // namespace
@@ -123,7 +162,8 @@ int main(int argc, char** argv) {
       target_loss, target_iters, base.num_workers, base.load, base.features);
 
   AsciiTable table({"scheme", "scenario", "time to target (s)", "iters",
-                    "mean K", "final loss"});
+                    "mean K", "s/iter measured", "s/iter theory",
+                    "final loss"});
   table.set_align(0, Align::kLeft);
   table.set_align(1, Align::kLeft);
   std::map<std::string, std::map<std::string, double>> time_by;  // scen->scheme
@@ -132,11 +172,18 @@ int main(int argc, char** argv) {
     if (reached) {
       time_by[record.scenario][record.scheme] = *record.time_to_target;
     }
+    const std::string measured =
+        record.iterations_run > 0
+            ? format_double(record.total_time /
+                                static_cast<double>(record.iterations_run),
+                            4)
+            : std::string("-");
     table.add_row({record.scheme_display, record.scenario,
                    reached ? format_double(*record.time_to_target, 3)
                            : std::string("not reached"),
                    std::to_string(record.iterations_run),
                    format_double(record.recovery_threshold, 1),
+                   measured, theory_seconds_per_iter(record),
                    record.final_loss ? format_double(*record.final_loss, 6)
                                      : std::string("-")});
   }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Line-coverage gate for the statistical core: builds Debug with gcov
 # instrumentation, runs the test suite, aggregates line coverage over
-# src/simulate/, src/stats/, and src/analytic/, writes
+# src/core/, src/simulate/, src/stats/, and src/analytic/, writes
 # coverage-summary.txt, and fails
 # when coverage drops below the recorded baseline
 # (scripts/coverage_baseline.txt).
@@ -22,13 +22,13 @@ cmake --build "${BUILD_DIR}" -j
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j 4 > /dev/null
 
 # Aggregate with plain gcov: run it over every .gcda in the coupon
-# library's simulate/, stats/, and analytic/ objects, keep per-source
-# "Lines executed" summaries for files under those trees, and take the
-# max per file across translation units (headers show up in several
-# TUs; the max is what the best-informed TU measured).
+# library's core/, simulate/, stats/, and analytic/ objects, keep
+# per-source "Lines executed" summaries for files under those trees, and
+# take the max per file across translation units (headers show up in
+# several TUs; the max is what the best-informed TU measured).
 OBJ_DIR="${BUILD_DIR}/src/CMakeFiles/coupon.dir"
-GCDA_FILES=$(find "${OBJ_DIR}/simulate" "${OBJ_DIR}/stats" \
-  "${OBJ_DIR}/analytic" -name '*.gcda')
+GCDA_FILES=$(find "${OBJ_DIR}/core" "${OBJ_DIR}/simulate" \
+  "${OBJ_DIR}/stats" "${OBJ_DIR}/analytic" -name '*.gcda')
 if [ -z "${GCDA_FILES}" ]; then
   echo "no .gcda files under ${OBJ_DIR} — did the tests run?" >&2
   exit 1
@@ -42,7 +42,7 @@ gcov -n ${GCDA_FILES} 2>/dev/null |
       file = $2; gsub(/\x27/, "", file); sub(repo, "", file); next
     }
     /^Lines executed:/ {
-      if (file ~ /^src\/(simulate|stats|analytic)\//) {
+      if (file ~ /^src\/(core|simulate|stats|analytic)\//) {
         split($0, parts, /[:% ]+/)
         pct = parts[3]; n = parts[5]
         covered = pct / 100.0 * n
@@ -60,7 +60,7 @@ gcov -n ${GCDA_FILES} 2>/dev/null |
         total += best[f]; total_covered += best_covered[f]
       }
       if (total == 0) { print "no matching source files" > "/dev/stderr"; exit 1 }
-      printf "TOTAL %.2f%% of %d lines in src/simulate + src/stats + src/analytic\n",
+      printf "TOTAL %.2f%% of %d lines in src/core + src/simulate + src/stats + src/analytic\n",
              100.0 * total_covered / total, total
     }' > "${SUMMARY_FILE}.raw"
 

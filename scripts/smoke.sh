@@ -51,6 +51,20 @@ run "${BUILD_DIR}/tools/coupon_run" --scheme bcc --scenario shifted_exp \
 grep -q "time_to_target" "${TMP_DIR}/train.csv"
 test "$(tail -1 "${TMP_DIR}/train.csv" | awk -F, '{print $NF}')" != ""
 
+# Gradient-coding family: gc_cyclic's deterministic n-r+1 timing trace,
+# and sgc's approximate-recovery training run must still reach the
+# target (unbiased decode => same trajectory to within the noise).
+run "${BUILD_DIR}/tools/coupon_run" --scheme gc_cyclic \
+    --scenario shifted_exp --runtime sim --workers 8 --units 8 --load 2 \
+    --iterations 5 --out "${TMP_DIR}/gc.csv"
+test -s "${TMP_DIR}/gc.csv"
+run "${BUILD_DIR}/tools/coupon_run" --scheme sgc --scenario shifted_exp \
+    --runtime sim --train --workers 8 --units 8 --load 2 --iterations 10 \
+    --features 6 --examples_per_unit 4 --target_loss 0.69 \
+    --out "${TMP_DIR}/sgc_train.csv"
+grep -q "time_to_target" "${TMP_DIR}/sgc_train.csv"
+test "$(tail -1 "${TMP_DIR}/sgc_train.csv" | awk -F, '{print $NF}')" != ""
+
 # Multi-process socket runtime: 4 worker OS processes train end-to-end
 # and reach the target loss; then the crash drill SIGKILLs worker 1
 # mid-iteration and the run must still complete under kSkipUpdate. Both

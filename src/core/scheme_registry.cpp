@@ -6,6 +6,9 @@
 #include "core/bcc.hpp"
 #include "core/cyclic_repetition.hpp"
 #include "core/fractional_repetition.hpp"
+#include "core/gc_cyclic.hpp"
+#include "core/gc_nested.hpp"
+#include "core/sgc.hpp"
 #include "core/simple_random.hpp"
 #include "core/uncoded.hpp"
 #include "util/assert.hpp"
@@ -74,6 +77,48 @@ SchemeRegistry::SchemeRegistry() {
        .factory = [](const SchemeConfig& c, stats::Rng& rng) {
          return std::make_unique<SimpleRandomScheme>(c.num_workers,
                                                      c.num_units, c.load, rng);
+       }});
+  add({.name = "gc_cyclic",
+       .aliases = {"gradient_coding", "gc"},
+       .description =
+           "exact gradient coding (Tandon et al. 1612.03301): systematic "
+           "cyclic placement, any r-1 stragglers, bitwise-exact decode; "
+           "requires m == n, r-unit messages",
+       .caps = {.supports_partial_decode = true,
+                .requires_units_equal_workers = true},
+       .factory = [](const SchemeConfig& c, stats::Rng&) {
+         COUPON_ASSERT_MSG(c.num_units == c.num_workers,
+                           "gc_cyclic requires m == n (use super-examples)");
+         return std::make_unique<GcCyclicScheme>(c.num_workers, c.load);
+       }});
+  add({.name = "sgc",
+       .aliases = {"stochastic_gradient_coding"},
+       .description =
+           "stochastic gradient coding (Bitar et al. 1905.05383): balanced "
+           "random r-redundancy, unbiased approximate decode from the first "
+           "n-r+1 workers; requires m == n",
+       .caps = {.supports_partial_decode = true,
+                .requires_units_equal_workers = true,
+                .approximate_recovery = true},
+       .factory = [](const SchemeConfig& c, stats::Rng& rng) {
+         COUPON_ASSERT_MSG(c.num_units == c.num_workers,
+                           "sgc requires m == n (use super-examples)");
+         return std::make_unique<SgcScheme>(c.num_workers, c.load, rng);
+       }});
+  add({.name = "gc_nested",
+       .aliases = {"nested_gradient_coding"},
+       .description =
+           "nested gradient codes (2212.08580): divisor ladder of window "
+           "sums, decodes at the cheapest level the realized stragglers "
+           "allow; requires m == n and r | n",
+       .caps = {.requires_units_equal_workers = true,
+                .requires_load_divides_workers = true},
+       .factory = [](const SchemeConfig& c, stats::Rng&) {
+         COUPON_ASSERT_MSG(c.num_units == c.num_workers,
+                           "gc_nested requires m == n (use super-examples)");
+         COUPON_ASSERT_MSG(c.num_workers % c.load == 0,
+                           "gc_nested requires r | n");
+         return std::make_unique<GcNestedScheme>(c.num_workers, c.load);
        }});
 }
 

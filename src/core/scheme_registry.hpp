@@ -36,8 +36,15 @@ struct SchemeCapabilities {
   /// Placement requires m == n (CR, FR operate on one unit per worker;
   /// use super-examples to satisfy this).
   bool requires_units_equal_workers = false;
-  /// Placement requires r to divide n (FR's disjoint blocks).
+  /// Placement requires r to divide n (FR's disjoint blocks, nested GC's
+  /// residue-class ladder).
   bool requires_load_divides_workers = false;
+  /// decode_sum returns a stochastic *estimate* of the gradient sum (SGC),
+  /// unbiased but noisy — never bitwise-reproducible against a serial
+  /// reference. Downstream layers gate such schemes statistically
+  /// (unbiasedness/variance/convergence) and the JSONL sink stamps
+  /// `approximate_recovery` so analysis code can tell the rows apart.
+  bool approximate_recovery = false;
 };
 
 /// One registry entry: identity, documentation, capabilities, factory.
@@ -52,9 +59,9 @@ struct SchemeEntry {
       factory;
 };
 
-/// Process-wide name -> factory registry. The five built-in schemes are
-/// registered on first access, in presentation order
-/// (uncoded, fr, cr, bcc, simple_random).
+/// Process-wide name -> factory registry. The built-in schemes are
+/// registered on first access, in presentation order (uncoded, fr, cr,
+/// bcc, simple_random, gc_cyclic, sgc, gc_nested).
 class SchemeRegistry {
  public:
   static SchemeRegistry& instance();

@@ -88,6 +88,47 @@ double expected_kth_order_statistic_shifted_exp(double a, double mu,
   return a * load + load / mu * (harmonic(n) - harmonic(n - k));
 }
 
+double k_gc_cyclic(std::size_t n, std::size_t r) {
+  COUPON_ASSERT(r >= 1 && r <= n);
+  return static_cast<double>(n - r + 1);
+}
+
+double k_sgc(std::size_t n, std::size_t r) {
+  COUPON_ASSERT(r >= 1 && r <= n);
+  return static_cast<double>(n - r + 1);
+}
+
+double k_gc_nested(std::size_t n, std::size_t r) {
+  COUPON_ASSERT(r >= 1 && r <= n && n % r == 0);
+  return static_cast<double>(n - r + 1);
+}
+
+std::size_t gc_nested_levels(std::size_t r) {
+  COUPON_ASSERT(r >= 1);
+  std::size_t levels = 0;
+  for (std::size_t w = 1; w <= r; ++w) {
+    if (r % w == 0) {
+      ++levels;
+    }
+  }
+  return levels;
+}
+
+double sgc_decode_scale(std::size_t n, std::size_t r, std::size_t k) {
+  COUPON_ASSERT(r >= 1 && r <= n && k >= 1 && k <= n);
+  return static_cast<double>(n) /
+         (static_cast<double>(r) * static_cast<double>(k));
+}
+
+double sgc_estimator_variance_factor(std::size_t n, std::size_t r,
+                                     std::size_t k) {
+  COUPON_ASSERT(n >= 2 && r >= 1 && r <= n && k >= 1 && k <= n);
+  const double scale = sgc_decode_scale(n, r, k);
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(k);
+  return scale * scale * kk * (nn - kk) / (nn - 1.0);
+}
+
 double expected_max_pareto(double scale, double alpha, std::size_t n) {
   COUPON_ASSERT_MSG(scale > 0.0 && alpha > 1.0 && n > 0,
                     "scale=" << scale << " alpha=" << alpha << " n=" << n);

@@ -108,6 +108,42 @@ double expected_kth_order_statistic_shifted_exp(double a, double mu,
                                                 double load, std::size_t n,
                                                 std::size_t k);
 
+// --- Gradient-coding scheme families (ROADMAP item 2) ---------------------
+
+/// Exact gradient coding (Tandon et al. 1612.03301), cyclic placement:
+/// deterministic recovery threshold K = n - r + 1 — identical to Eq. 7's
+/// coded bound, but achieved with bitwise-exact systematic decode.
+double k_gc_cyclic(std::size_t n, std::size_t r);
+
+/// Stochastic gradient coding (Bitar et al. 1905.05383): the master's
+/// wait quota k* = n - r + 1. Not a recovery threshold in the exact
+/// sense — decode is an unbiased estimate from whichever k* workers
+/// arrive first.
+double k_sgc(std::size_t n, std::size_t r);
+
+/// Nested gradient codes (2212.08580): worst-case recovery threshold
+/// K = n - r + 1 (the widest ladder level always decodes there); lighter
+/// realized straggling decodes at a narrower level without waiting less.
+double k_gc_nested(std::size_t n, std::size_t r);
+
+/// Number of ladder levels L = d(r) (divisor count) in the nested code —
+/// also the per-worker message size in gradient units.
+std::size_t gc_nested_levels(std::size_t r);
+
+/// SGC decode scale n / (r k) applied to the sum of the first k worker
+/// messages; with each unit replicated r times, E[scaled sum] equals the
+/// true gradient sum under exchangeable arrivals.
+double sgc_decode_scale(std::size_t n, std::size_t r, std::size_t k);
+
+/// Finite-population sampling factor of the SGC estimator's
+/// per-coordinate variance when k of n messages arrive uniformly:
+///   Var[ghat_j] = factor * Var_w(msg_w[j])
+///   factor = (n/(rk))^2 * k (n-k) / (n-1)        (n >= 2, 1 <= k <= n)
+/// where Var_w is the *population* variance over the n per-worker message
+/// sums. Zero at k = n: the full aggregate is deterministic.
+double sgc_estimator_variance_factor(std::size_t n, std::size_t r,
+                                     std::size_t k);
+
 /// Expected max of n i.i.d. Pareto(scale, alpha) draws:
 ///   scale * Gamma(n+1) * Gamma(1 - 1/alpha) / Gamma(n+1 - 1/alpha)
 ///   ~ scale * Gamma(1 - 1/alpha) * n^{1/alpha},

@@ -153,6 +153,10 @@ void JsonlSink::write(const RunRecord& record) {
   if (record.workers_lost > 0) {
     os_ << ",\"workers_lost\":" << record.workers_lost;
   }
+  if (record.approximate_recovery) {
+    os_ << ",\"approximate_recovery\":true"
+        << ",\"approximate_iterations\":" << record.approximate_iterations;
+  }
   if (!record.loss_history.empty()) {
     os_ << ",\"loss_history\":[";
     for (std::size_t i = 0; i < record.loss_history.size(); ++i) {

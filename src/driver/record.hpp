@@ -67,6 +67,16 @@ struct RunRecord {
   /// runtime only. JSONL-only field: emitted when > 0, so timing-only
   /// output and the pinned golden traces stay byte-identical.
   std::size_t workers_lost = 0;
+
+  /// The scheme's decode is a stochastic estimate (SchemeCapabilities::
+  /// approximate_recovery — SGC). JSONL-only field, emitted when true:
+  /// analysis code must not expect bitwise reproducibility of losses
+  /// against exact-recovery baselines, and existing goldens (all exact
+  /// schemes) stay byte-identical.
+  bool approximate_recovery = false;
+  /// Training iterations whose applied update came from an approximate
+  /// decode; emitted alongside approximate_recovery for training runs.
+  std::size_t approximate_iterations = 0;
 };
 
 /// Consumes finished records in deterministic order. `write` is always

@@ -43,6 +43,7 @@ RunRecord identity_record(const ExperimentConfig& config,
   record.load = config.load;
   record.iterations = config.iterations;
   record.seed = config.seed;
+  record.approximate_recovery = scheme->caps.approximate_recovery;
   return record;
 }
 
@@ -137,6 +138,11 @@ engine::TrainOptions engine_options(const ExperimentConfig& config,
   options.record_loss_history = config.record_loss_history;
   options.target_loss = config.target_loss;
   options.stop_at_target = config.stop_at_target;
+  // identity_record already validated the scheme name against the
+  // registry, so the entry exists here.
+  options.approximate_recovery = core::SchemeRegistry::instance()
+                                     .find(config.scheme)
+                                     ->caps.approximate_recovery;
   return options;
 }
 
@@ -151,6 +157,7 @@ void fill_convergence_fields(const engine::TrainReport& report,
   record.iterations_run = report.iterations_run;
   record.final_loss = report.final_loss;
   record.time_to_target = report.time_to_target;
+  record.approximate_iterations = report.approximate_iterations;
   if (workload.has_accuracy) {
     record.train_accuracy =
         opt::accuracy(workload.problem.dataset, report.weights);

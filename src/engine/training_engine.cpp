@@ -71,6 +71,9 @@ TrainReport TrainingEngine::train(opt::IterativeOptimizer& optimizer,
     if (!applied && !collector_->ready()) {
       ++report.failed_iterations;
     }
+    if (applied && options.approximate_recovery) {
+      ++report.approximate_iterations;
+    }
 
     // Per-iteration loss evaluation costs a full-dataset pass — do it
     // only when a consumer asked for the curve or the target crossing;

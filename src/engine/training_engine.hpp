@@ -100,6 +100,10 @@ struct TrainOptions {
   /// Stop the run right after the target is reached instead of running
   /// all iterations (requires target_loss).
   bool stop_at_target = false;
+  /// The scheme's decode_sum is a stochastic estimate (SGC): count every
+  /// applied update in TrainReport::approximate_iterations so downstream
+  /// records can flag how much of the trajectory rode on noisy gradients.
+  bool approximate_recovery = false;
 };
 
 /// Result of a training run. `elapsed_seconds` is wall-clock for the
@@ -118,6 +122,9 @@ struct TrainReport {
   std::size_t iterations_run = 0;      ///< < options.iterations on early stop
   std::size_t failed_iterations = 0;   ///< coverage failures (update skipped)
   std::size_t partial_iterations = 0;  ///< updates applied from partial sums
+  /// Updates applied from a stochastic decode (options.approximate_recovery
+  /// schemes): full and partial applied updates both count.
+  std::size_t approximate_iterations = 0;
   std::optional<double> final_loss;     ///< loss_fn on the final iterate
   std::optional<double> time_to_target; ///< seconds to reach target_loss
   std::vector<LossPoint> loss_history;  ///< when record_loss_history

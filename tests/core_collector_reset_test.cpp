@@ -6,95 +6,28 @@
 // allocation-free hot path reuses one collector per run, so a scheme
 // whose reset leaks state would silently corrupt every iteration after
 // the first; this test is what keeps that failure mode loud.
+//
+// Scheme discovery, the fixture problem, and the per-offer trajectory
+// comparison live in scheme_test_fixture.hpp, shared with the
+// registry-wide conformance suite (core_scheme_conformance_test): every
+// newly registered scheme is covered here automatically.
 
 #include <gtest/gtest.h>
 
 #include <numeric>
 #include <vector>
 
-#include "core/gradient_source.hpp"
-#include "core/scheme_registry.hpp"
-#include "data/batching.hpp"
-#include "data/synthetic.hpp"
+#include "scheme_test_fixture.hpp"
 #include "stats/rng.hpp"
 
 namespace coupon::core {
 namespace {
 
-// n = 12, m = 12, r = 3 satisfies every registered capability constraint:
-// m == n (CR, FR), r | n (FR), n >= ceil(m/r) (BCC).
-constexpr std::size_t kWorkers = 12;
-constexpr std::size_t kUnits = 12;
-constexpr std::size_t kLoad = 3;
-constexpr std::size_t kExamplesPerUnit = 2;
-constexpr std::size_t kTrials = 12;
-
-struct SchemeFixture {
-  std::unique_ptr<Scheme> scheme;
-  std::vector<comm::Message> messages;  // encode(i) cached per worker
-};
-
-SchemeFixture build_fixture(const std::string& name) {
-  SchemeConfig config;
-  config.num_workers = kWorkers;
-  config.num_units = kUnits;
-  config.load = kLoad;
-
-  stats::Rng rng(0xC0FFEE);
-  SchemeFixture fixture;
-  fixture.scheme = SchemeRegistry::instance().create(name, config, rng);
-
-  data::SyntheticConfig dconf;
-  dconf.num_features = 5;
-  const auto problem =
-      data::generate_logreg(kUnits * kExamplesPerUnit, dconf, rng);
-  data::BatchPartition partition(kUnits * kExamplesPerUnit,
-                                 kExamplesPerUnit);
-  GroupedBatchSource source(problem.dataset, partition);
-
-  std::vector<double> w(dconf.num_features);
-  for (std::size_t j = 0; j < w.size(); ++j) {
-    w[j] = 0.1 * static_cast<double>(j + 1);
-  }
-  fixture.messages.reserve(kWorkers);
-  for (std::size_t i = 0; i < kWorkers; ++i) {
-    fixture.messages.push_back(fixture.scheme->encode(i, source, w));
-  }
-  return fixture;
-}
-
-/// Feeds both collectors the same offer sequence, asserting identical
-/// observable behavior after every single offer.
-void expect_identical_trajectories(const SchemeFixture& fixture,
-                                   Collector& fresh, Collector& reused,
-                                   const std::vector<std::size_t>& order,
-                                   bool with_payloads) {
-  std::vector<double> sum_fresh(5), sum_reused(5);  // dim = num_features
-  for (const std::size_t worker : order) {
-    const auto& msg = fixture.messages[worker];
-    const std::span<const double> payload =
-        with_payloads ? std::span<const double>(msg.payload)
-                      : std::span<const double>();
-    const bool kept_fresh = fresh.offer(worker, msg.meta, payload);
-    const bool kept_reused = reused.offer(worker, msg.meta, payload);
-    EXPECT_EQ(kept_fresh, kept_reused) << "worker " << worker;
-    EXPECT_EQ(fresh.ready(), reused.ready()) << "worker " << worker;
-    EXPECT_EQ(fresh.workers_heard(), reused.workers_heard());
-    EXPECT_DOUBLE_EQ(fresh.units_received(), reused.units_received());
-    if (with_payloads && fresh.supports_partial_decode()) {
-      const std::size_t units_fresh = fresh.decode_partial_sum(sum_fresh);
-      const std::size_t units_reused = reused.decode_partial_sum(sum_reused);
-      EXPECT_EQ(units_fresh, units_reused);
-      EXPECT_EQ(sum_fresh, sum_reused);  // bitwise: same op order
-    }
-  }
-  ASSERT_EQ(fresh.ready(), reused.ready());
-  if (with_payloads && fresh.ready()) {
-    fresh.decode_sum(sum_fresh);
-    reused.decode_sum(sum_reused);
-    EXPECT_EQ(sum_fresh, sum_reused);  // bitwise: same op order
-  }
-}
+using test_fixture::SchemeFixture;
+using test_fixture::build_fixture;
+using test_fixture::expect_identical_trajectories;
+using test_fixture::kTrials;
+using test_fixture::kWorkers;
 
 TEST(CollectorReset, ReusedCollectorMatchesFreshUnderRandomOfferOrders) {
   for (const auto& name : SchemeRegistry::instance().names()) {

@@ -65,6 +65,27 @@ driver::SweepPlan convergence_plan() {
   return plan;
 }
 
+/// The gradient-coding golden: the same canonical sweep shape as
+/// golden_plan over the exact-recovery GC family (captured from the
+/// engine that introduced the schemes: `coupon_run --sweep --schemes
+/// gc_cyclic,gc_nested --scenarios shifted_exp,lossy --workers 20
+/// --units 20 --loads 4 --iterations 40 --seed 9 --threads 1 --jsonl
+/// tests/golden/gc_sweep.jsonl`). Pins the cyclic-window placement, the
+/// deterministic n - r + 1 readiness rule (recovery_threshold is exactly
+/// 17 in every row), and the per-message unit accounting (r = 4 raw
+/// units for gc_cyclic, d(4) = 3 ladder components for gc_nested).
+driver::SweepPlan gc_plan() {
+  driver::SweepPlan plan;
+  plan.base.num_workers = 20;
+  plan.base.num_units = 20;
+  plan.base.load = 4;
+  plan.base.iterations = 40;
+  plan.base.seed = 9;
+  plan.schemes = {"gc_cyclic", "gc_nested"};
+  plan.scenarios = {"shifted_exp", "lossy"};
+  return plan;
+}
+
 std::string run_plan_to_jsonl(const driver::SweepPlan& plan,
                               std::size_t threads) {
   std::ostringstream os;
@@ -100,6 +121,20 @@ TEST(GoldenTrace, ParallelSweepMatchesTheGoldenToo) {
   // must hit the same bytes.
   EXPECT_EQ(run_plan_to_jsonl(golden_plan(), /*threads=*/4),
             read_golden("sweep_2x2.jsonl"));
+}
+
+TEST(GoldenGcSweep, SerialGcSweepIsByteIdenticalToTheCheckedInGolden) {
+  const std::string golden = read_golden("gc_sweep.jsonl");
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(run_plan_to_jsonl(gc_plan(), /*threads=*/1), golden)
+      << "sweep output drifted from tests/golden/gc_sweep.jsonl — the "
+         "gradient-coding placements, readiness rule, or the simulator's "
+         "RNG draw sequence changed";
+}
+
+TEST(GoldenGcSweep, ParallelGcSweepMatchesTheGoldenToo) {
+  EXPECT_EQ(run_plan_to_jsonl(gc_plan(), /*threads=*/4),
+            read_golden("gc_sweep.jsonl"));
 }
 
 TEST(GoldenConvergence, SerialTrainingSweepIsByteIdentical) {

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file scheme_test_fixture.hpp
+/// The shared scheme-contract fixture used by the registry-wide test
+/// suites (core_scheme_conformance_test, core_collector_reset_test):
+/// one (n=12, m=12, r=3) logistic problem, every registered scheme built
+/// from it by name, per-worker messages cached, and the unit-ordered
+/// serial gradient sums the decodes are checked against. Iterating
+/// `SchemeRegistry::instance().names()` over this fixture is what makes
+/// the contract automatic: a newly registered scheme is covered by every
+/// suite without editing any test.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/gradient_source.hpp"
+#include "core/scheme_registry.hpp"
+#include "data/batching.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace coupon::core::test_fixture {
+
+// n = 12, m = 12, r = 3 satisfies every registered capability constraint:
+// m == n (CR, FR, GC family), r | n (FR, nested GC), n >= ceil(m/r) (BCC).
+constexpr std::size_t kWorkers = 12;
+constexpr std::size_t kUnits = 12;
+constexpr std::size_t kLoad = 3;
+constexpr std::size_t kExamplesPerUnit = 2;
+constexpr std::size_t kDim = 5;
+constexpr std::size_t kTrials = 12;
+
+struct SchemeFixture {
+  std::unique_ptr<Scheme> scheme;
+  std::vector<comm::Message> messages;  // encode(i) cached per worker
+  /// Per-unit gradients g_u at the fixture's query point, each computed
+  /// into a zeroed buffer via `unit_gradient` — the bitwise values that
+  /// per-unit-shipping encodes (simple_random, gc_cyclic) carry.
+  std::vector<std::vector<double>> unit_grads;
+  /// The unit-ordered serial reference: out = 0; out += g_0; ...;
+  /// out += g_{m-1} (one axpy per unit). Slot-decoding schemes that sum
+  /// per-unit slots in unit order reproduce this bit-for-bit.
+  std::vector<double> serial_sum;
+};
+
+inline SchemeFixture build_fixture(const std::string& name) {
+  SchemeConfig config;
+  config.num_workers = kWorkers;
+  config.num_units = kUnits;
+  config.load = kLoad;
+
+  stats::Rng rng(0xC0FFEE);
+  SchemeFixture fixture;
+  fixture.scheme = SchemeRegistry::instance().create(name, config, rng);
+
+  data::SyntheticConfig dconf;
+  dconf.num_features = kDim;
+  const auto problem =
+      data::generate_logreg(kUnits * kExamplesPerUnit, dconf, rng);
+  data::BatchPartition partition(kUnits * kExamplesPerUnit,
+                                 kExamplesPerUnit);
+  GroupedBatchSource source(problem.dataset, partition);
+
+  std::vector<double> w(dconf.num_features);
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    w[j] = 0.1 * static_cast<double>(j + 1);
+  }
+  fixture.messages.reserve(kWorkers);
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    fixture.messages.push_back(fixture.scheme->encode(i, source, w));
+  }
+  fixture.unit_grads.assign(kUnits, std::vector<double>(kDim, 0.0));
+  fixture.serial_sum.assign(kDim, 0.0);
+  for (std::size_t u = 0; u < kUnits; ++u) {
+    source.unit_gradient(u, w, fixture.unit_grads[u]);
+    linalg::axpy(1.0, fixture.unit_grads[u], fixture.serial_sum);
+  }
+  return fixture;
+}
+
+/// Feeds both collectors the same offer sequence, asserting identical
+/// observable behavior after every single offer.
+inline void expect_identical_trajectories(const SchemeFixture& fixture,
+                                          Collector& fresh, Collector& reused,
+                                          const std::vector<std::size_t>& order,
+                                          bool with_payloads) {
+  std::vector<double> sum_fresh(kDim), sum_reused(kDim);
+  for (const std::size_t worker : order) {
+    const auto& msg = fixture.messages[worker];
+    const std::span<const double> payload =
+        with_payloads ? std::span<const double>(msg.payload)
+                      : std::span<const double>();
+    const bool kept_fresh = fresh.offer(worker, msg.meta, payload);
+    const bool kept_reused = reused.offer(worker, msg.meta, payload);
+    EXPECT_EQ(kept_fresh, kept_reused) << "worker " << worker;
+    EXPECT_EQ(fresh.ready(), reused.ready()) << "worker " << worker;
+    EXPECT_EQ(fresh.workers_heard(), reused.workers_heard());
+    EXPECT_DOUBLE_EQ(fresh.units_received(), reused.units_received());
+    if (with_payloads && fresh.supports_partial_decode()) {
+      const std::size_t units_fresh = fresh.decode_partial_sum(sum_fresh);
+      const std::size_t units_reused = reused.decode_partial_sum(sum_reused);
+      EXPECT_EQ(units_fresh, units_reused);
+      EXPECT_EQ(sum_fresh, sum_reused);  // bitwise: same op order
+    }
+  }
+  ASSERT_EQ(fresh.ready(), reused.ready());
+  if (with_payloads && fresh.ready()) {
+    fresh.decode_sum(sum_fresh);
+    reused.decode_sum(sum_reused);
+    EXPECT_EQ(sum_fresh, sum_reused);  // bitwise: same op order
+  }
+}
+
+}  // namespace coupon::core::test_fixture

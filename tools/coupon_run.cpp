@@ -119,6 +119,9 @@ int list_registries() {
     if (entry->caps.requires_load_divides_workers) {
       tags += " [r|n]";
     }
+    if (entry->caps.approximate_recovery) {
+      tags += " [approx]";
+    }
     if (analytic::AnalyticModelRegistry::instance().find(name) != nullptr) {
       tags += " [analytic]";
     }
