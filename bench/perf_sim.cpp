@@ -52,12 +52,27 @@ struct Cell {
   /// (real gradients) instead of the timing-only kernel. Reported under
   /// the "train:<scheme>" key so perf_check matches the right baseline.
   bool train = false;
+  /// Batched mode: run this many same-shape cells (distinct placements
+  /// and RNG streams) through one simulate::BatchedKernel pass and
+  /// report aggregate cell-iterations/sec under "batch<k>:<scheme>" —
+  /// directly comparable with the unbatched row of the same shape.
+  std::size_t batch = 0;
 };
+
+/// Quick (CI) mode skips rows above this worker count: the n = 10^5 and
+/// 10^6 rows exist to pin million-worker scaling locally, not to spend
+/// runner minutes (see scripts/perf_check.py's per-row time budget).
+constexpr std::size_t kQuickMaxWorkers = 10'000;
 
 /// The benchmark grid. Every scheme sees a small, the paper's scenario
 /// one, and a large shape; all satisfy m == n (CR/FR) and r | n (FR).
 /// The train rows gate the convergence path (engine + encode + decode)
-/// at the same (n, m, r) shapes.
+/// at the paper-scale shapes (n in {20, 50, 100} — ROADMAP item 4's
+/// training-path gap is tracked here). The large-n rows (10^3..10^6)
+/// gate the threshold-selection kernel's million-worker scaling; CR is
+/// absent there because its n x n coding matrix is quadratic in memory
+/// by design. BCC loads grow with n to keep coverage failure rare
+/// (failure prob ~ B * exp(-n/B), B = m/r).
 const std::vector<Cell>& grid() {
   static const std::vector<Cell> cells = {
       {"uncoded", 20, 20, 4, 5000},  {"cr", 20, 20, 4, 5000},
@@ -66,9 +81,28 @@ const std::vector<Cell>& grid() {
       {"fr", 50, 50, 10, 2000},      {"bcc", 50, 50, 10, 2000},
       {"uncoded", 100, 100, 10, 1000}, {"cr", 100, 100, 10, 1000},
       {"fr", 100, 100, 10, 1000},    {"bcc", 100, 100, 10, 1000},
+      // Large-n scaling rows (selection kernel; DESIGN.md §7.4).
+      {"uncoded", 1'000, 1'000, 10, 1000},
+      {"fr", 1'000, 1'000, 10, 1000},
+      {"bcc", 1'000, 1'000, 10, 1000},
+      {"uncoded", 10'000, 10'000, 20, 200},
+      {"fr", 10'000, 10'000, 20, 200},
+      {"bcc", 10'000, 10'000, 20, 200},
+      {"uncoded", 100'000, 100'000, 40, 30},
+      {"fr", 100'000, 100'000, 40, 30},
+      {"bcc", 100'000, 100'000, 40, 30},
+      {"uncoded", 1'000'000, 1'000'000, 40, 5},
+      {"bcc", 1'000'000, 1'000'000, 40, 5},
+      // Structure-of-arrays batching (DESIGN.md §7.5).
+      {"bcc", 1'000, 1'000, 10, 1000, /*train=*/false, /*batch=*/8},
+      {"fr", 1'000, 1'000, 10, 1000, /*train=*/false, /*batch=*/8},
+      // Training-path rows (TrainingEngine over the simulated provider).
       {"uncoded", 20, 20, 4, 2000, /*train=*/true},
       {"bcc", 20, 20, 4, 2000, /*train=*/true},
+      {"uncoded", 50, 50, 10, 500, /*train=*/true},
       {"bcc", 50, 50, 10, 500, /*train=*/true},
+      {"uncoded", 100, 100, 10, 200, /*train=*/true},
+      {"bcc", 100, 100, 10, 200, /*train=*/true},
   };
   return cells;
 }
@@ -80,9 +114,16 @@ struct Result {
   double best_seconds = 0.0;
   double iters_per_sec = 0.0;
 
-  /// The perf_check matching key: "<scheme>" or "train:<scheme>".
+  /// The perf_check matching key: "<scheme>", "train:<scheme>", or
+  /// "batch<k>:<scheme>".
   std::string key() const {
-    return cell.train ? std::string("train:") + cell.scheme : cell.scheme;
+    if (cell.train) {
+      return std::string("train:") + cell.scheme;
+    }
+    if (cell.batch > 0) {
+      return "batch" + std::to_string(cell.batch) + ":" + cell.scheme;
+    }
+    return cell.scheme;
   }
 };
 
@@ -98,6 +139,15 @@ Result run_cell(const Cell& cell, std::size_t iterations, std::size_t reps) {
   stats::Rng build_rng(0xBE5C0000 + cell.workers);
   const auto scheme =
       core::SchemeRegistry::instance().create(cell.scheme, config, build_rng);
+
+  // Batched rows: `cell.batch` same-shape cells with distinct placements,
+  // one lockstep BatchedKernel pass (kernel construction is measured,
+  // matching simulate_run's per-call kernel setup in the plain rows).
+  std::vector<std::unique_ptr<core::Scheme>> batch_schemes;
+  for (std::size_t i = 1; i < cell.batch; ++i) {
+    batch_schemes.push_back(
+        core::SchemeRegistry::instance().create(cell.scheme, config, build_rng));
+  }
 
   // Training rows: a small logistic workload (the convergence path's
   // gradient cost scales with p and examples/unit; the gate targets the
@@ -142,6 +192,29 @@ Result run_cell(const Cell& cell, std::size_t iterations, std::size_t reps) {
         std::fprintf(stderr, "perf_sim: training run dropped iterations\n");
         std::exit(1);
       }
+    } else if (cell.batch > 0) {
+      simulate::RunOptions options;
+      options.iterations = iterations;
+      options.record_trace = false;
+      std::vector<simulate::BatchedCell> cells;
+      cells.reserve(cell.batch);
+      for (std::size_t i = 0; i < cell.batch; ++i) {
+        simulate::BatchedCell bc;
+        bc.scheme = i == 0 ? scheme.get() : batch_schemes[i - 1].get();
+        bc.config = &cluster;
+        bc.rng = stats::Rng(0x5EED + rep + 7919 * i);
+        bc.options = options;
+        cells.push_back(std::move(bc));
+      }
+      simulate::BatchedKernel kernel(std::move(cells));
+      const auto runs = kernel.run();
+      elapsed = timer.seconds();
+      for (const auto& run : runs) {
+        if (run.workers_heard.count() != iterations) {
+          std::fprintf(stderr, "perf_sim: batched run dropped iterations\n");
+          std::exit(1);
+        }
+      }
     } else {
       simulate::RunOptions options;
       options.iterations = iterations;
@@ -158,8 +231,12 @@ Result run_cell(const Cell& cell, std::size_t iterations, std::size_t reps) {
       result.best_seconds = elapsed;
     }
   }
+  // Batched rows report aggregate cell-iterations/sec so the row is
+  // directly comparable with the unbatched row of the same shape.
+  const std::size_t effective =
+      iterations * std::max<std::size_t>(1, cell.batch);
   result.iters_per_sec =
-      static_cast<double>(iterations) / result.best_seconds;
+      static_cast<double>(effective) / result.best_seconds;
   return result;
 }
 
@@ -200,8 +277,12 @@ int main(int argc, char** argv) {
   std::vector<Result> results;
   results.reserve(grid().size());
   for (const Cell& cell : grid()) {
+    if (quick && cell.workers > kQuickMaxWorkers) {
+      continue;  // million-worker rows are local-only (see kQuickMaxWorkers)
+    }
     const std::size_t iterations =
-        quick ? std::max<std::size_t>(100, cell.iterations / 10)
+        quick ? std::max<std::size_t>(std::min<std::size_t>(100, cell.iterations),
+                                      cell.iterations / 10)
               : cell.iterations;
     results.push_back(run_cell(cell, iterations, reps));
     const Result& r = results.back();

@@ -3,12 +3,21 @@
 
 Usage:
     perf_check.py BASELINE.json CURRENT.json [--max-slowdown 2.0]
+                  [--max-row-seconds 30.0]
 
 Both files are bench_perf_sim JSON outputs. Cells are matched on
 (scheme, workers, units, load) — iteration counts may differ (quick mode
 runs the same grid with ~10x fewer iterations; iters/sec is comparable
 because the simulator is in steady state either way). The check fails
 when any matched cell's iters_per_sec drops below baseline/max-slowdown.
+
+A second, absolute gate bounds each *current* row's measured wall time:
+any row whose best_seconds exceeds --max-row-seconds fails outright, even
+if the baseline has no matching cell. This is what keeps the large-n rows
+honest — quick mode skips the n >= 1e5 grid rows entirely (they are
+recaptured locally when refreshing BENCH_sim.json), so every row that
+does run in CI must stay interactive. Ratios catch relative regressions;
+the row budget catches a new row that is unreasonable from birth.
 
 The threshold is deliberately generous (default 2x): CI runners are
 noisy, differently-provisioned machines than wherever BENCH_sim.json was
@@ -35,7 +44,7 @@ def load_cells(path):
     if doc.get("benchmark") != "perf_sim":
         sys.exit(f"{path}: not a perf_sim result file")
     return {
-        (r["scheme"], r["workers"], r["units"], r["load"]): r["iters_per_sec"]
+        (r["scheme"], r["workers"], r["units"], r["load"]): r
         for r in doc["results"]
     }
 
@@ -46,6 +55,9 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--max-slowdown", type=float, default=2.0,
                         help="fail when baseline/current exceeds this")
+    parser.add_argument("--max-row-seconds", type=float, default=30.0,
+                        help="fail any current row whose best_seconds "
+                             "exceeds this (0 disables)")
     args = parser.parse_args()
 
     baseline = load_cells(args.baseline)
@@ -56,22 +68,41 @@ def main():
 
     failures = []
     for key in matched:
-        ratio = baseline[key] / current[key]
+        ratio = baseline[key]["iters_per_sec"] / current[key]["iters_per_sec"]
         scheme, n, m, r = key
         status = "FAIL" if ratio > args.max_slowdown else "ok"
-        print(f"{status:4s} {scheme:12s} n={n:<4d} m={m:<4d} r={r:<3d} "
-              f"baseline={baseline[key]:>10.0f} current={current[key]:>10.0f} "
+        print(f"{status:4s} {scheme:14s} n={n:<7d} m={m:<7d} r={r:<3d} "
+              f"baseline={baseline[key]['iters_per_sec']:>10.0f} "
+              f"current={current[key]['iters_per_sec']:>10.0f} "
               f"iters/sec  (x{ratio:.2f} slowdown)")
         if ratio > args.max_slowdown:
             failures.append(key)
 
-    if failures:
-        sys.exit(f"{len(failures)}/{len(matched)} cells slower than "
-                 f"{args.max_slowdown}x the committed baseline "
-                 f"(see BENCH_sim.json; refresh it if the change is "
-                 f"intentional)")
+    slow_rows = []
+    if args.max_row_seconds > 0:
+        for key, row in sorted(current.items()):
+            seconds = row.get("best_seconds", 0.0)
+            if seconds > args.max_row_seconds:
+                scheme, n, m, r = key
+                print(f"FAIL {scheme:14s} n={n:<7d} m={m:<7d} r={r:<3d} "
+                      f"best_seconds={seconds:.2f} exceeds row budget "
+                      f"{args.max_row_seconds:.2f}s")
+                slow_rows.append(key)
+
+    if failures or slow_rows:
+        parts = []
+        if failures:
+            parts.append(f"{len(failures)}/{len(matched)} cells slower than "
+                         f"{args.max_slowdown}x the committed baseline")
+        if slow_rows:
+            parts.append(f"{len(slow_rows)} rows over the "
+                         f"{args.max_row_seconds:.2f}s per-row budget")
+        sys.exit("; ".join(parts) +
+                 " (see BENCH_sim.json; refresh it if the change is "
+                 "intentional)")
     print(f"perf OK: {len(matched)} cells within {args.max_slowdown}x "
-          f"of baseline")
+          f"of baseline, all rows under "
+          f"{args.max_row_seconds:.2f}s")
 
 
 if __name__ == "__main__":

@@ -116,7 +116,7 @@ run "${BUILD_DIR}/bench/bench_ablation_latency_models" --iterations 10
 run "${BUILD_DIR}/bench/bench_ablation_master_bw" --iterations 5
 run "${BUILD_DIR}/bench/bench_ablation_r_sweep" --iterations 5 --placements 2
 run "${BUILD_DIR}/bench/bench_coupon_tail" --trials 500
-run "${BUILD_DIR}/bench/bench_fig2_tradeoff" --trials 50
+run "${BUILD_DIR}/bench/bench_fig2_tradeoff" --trials 50 --quick --workers 100
 run "${BUILD_DIR}/bench/bench_fig4_runtime" --iterations 5
 run "${BUILD_DIR}/bench/bench_fig5_heterogeneous" --trials 50 --refine_steps 10
 run "${BUILD_DIR}/bench/bench_fig6_convergence" --quick \

@@ -41,6 +41,9 @@ class BccScheme final : public Scheme {
   /// Eq. (2): ceil(m/r) * H_{ceil(m/r)}.
   std::optional<double> expected_recovery_threshold() const override;
 
+  /// Coverage needs at least one message per batch: B = ceil(m/r).
+  std::size_t min_arrivals_hint() const override { return num_batches(); }
+
   /// Number of batches B = ceil(m/r).
   std::size_t num_batches() const { return partition_.num_batches(); }
 

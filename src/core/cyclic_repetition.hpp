@@ -55,6 +55,12 @@ class CyclicRepetitionScheme final : public Scheme {
   /// s = r - 1.
   std::size_t stragglers_tolerated() const { return load_ - 1; }
 
+  /// Exact wait quota: the collector counts distinct workers up to
+  /// n - s, so no shorter arrival prefix can be ready.
+  std::size_t min_arrivals_hint() const override {
+    return num_workers() - stragglers_tolerated();
+  }
+
   /// The n x n coding matrix B (row i = worker i's combination).
   const linalg::Matrix& coding_matrix() const { return b_; }
 

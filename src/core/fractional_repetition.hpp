@@ -45,6 +45,9 @@ class FractionalRepetitionScheme final : public Scheme {
   std::size_t num_blocks() const { return num_workers() / load_; }
   std::size_t block_of_worker(std::size_t worker) const;
 
+  /// Block coverage needs at least one worker per block: n/r arrivals.
+  std::size_t min_arrivals_hint() const override { return num_blocks(); }
+
  private:
   std::size_t load_;
 };

@@ -54,6 +54,12 @@ class GcCyclicScheme final : public Scheme {
   /// s = r - 1.
   std::size_t stragglers_tolerated() const { return load_ - 1; }
 
+  /// Exact wait quota: the collector counts distinct workers up to
+  /// n - s, so no shorter arrival prefix can be ready.
+  std::size_t min_arrivals_hint() const override {
+    return num_workers() - stragglers_tolerated();
+  }
+
  private:
   std::size_t load_;
 };

@@ -53,6 +53,12 @@ class GcNestedScheme final : public Scheme {
   /// s = r - 1.
   std::size_t stragglers_tolerated() const { return load_ - 1; }
 
+  /// Exact wait quota: the decoder waits for n - r + 1 distinct workers
+  /// before walking the ladder, so no shorter prefix can be ready.
+  std::size_t min_arrivals_hint() const override {
+    return num_workers() - stragglers_tolerated();
+  }
+
   /// The ladder's level widths: the divisors of r, ascending. The number
   /// of levels L = widths().size() is the per-message size in units.
   const std::vector<std::size_t>& widths() const { return widths_; }

@@ -157,6 +157,22 @@ class Scheme {
   /// empirical estimates exist (simple randomized, FR).
   virtual std::optional<double> expected_recovery_threshold() const = 0;
 
+  /// A provable lower bound on the number of master-side message
+  /// arrivals before this scheme's collector can possibly flip ready():
+  /// threshold schemes return their exact wait quota (n - r + 1 for
+  /// CR/GC/SGC/nested GC), coverage schemes the count of distinct
+  /// coupons that must be collected (ceil(m/r) batches for BCC, n/r
+  /// blocks for FR, ceil(m/r) messages for simple randomized), and
+  /// wait-for-all schemes n — the default, always safe for out-of-tree
+  /// schemes. The simulator's threshold-selection kernel (DESIGN.md §7)
+  /// sorts only this many earliest arrivals up front and extends the
+  /// sorted prefix geometrically when recovery needs more (drops,
+  /// coverage failure), so the hint is a performance contract, not a
+  /// correctness one: too small costs extension rounds, too large costs
+  /// wasted sorting, either way the trace is bit-identical. Enforced as
+  /// a true lower bound by the registry-wide conformance suite.
+  virtual std::size_t min_arrivals_hint() const { return num_workers(); }
+
  protected:
   explicit Scheme(data::Placement placement)
       : placement_(std::move(placement)) {}

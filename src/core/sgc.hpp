@@ -60,6 +60,12 @@ class SgcScheme final : public Scheme {
   /// s = r - 1 stragglers ignored per iteration (approximately).
   std::size_t stragglers_tolerated() const { return load_ - 1; }
 
+  /// Exact wait quota k* = n - r + 1: the collector counts distinct
+  /// workers, so no shorter arrival prefix can be ready.
+  std::size_t min_arrivals_hint() const override {
+    return num_workers() - stragglers_tolerated();
+  }
+
  private:
   std::size_t load_;
 };

@@ -42,6 +42,12 @@ class SimpleRandomScheme final : public Scheme {
     return std::nullopt;
   }
 
+  /// Each message covers at most r distinct units, so covering all m
+  /// units takes at least ceil(m/r) arrivals.
+  std::size_t min_arrivals_hint() const override {
+    return (num_units() + load_ - 1) / load_;
+  }
+
  private:
   std::size_t load_;
 };

@@ -33,6 +33,10 @@ class UncodedScheme final : public Scheme {
   std::optional<double> expected_recovery_threshold() const override {
     return static_cast<double>(num_workers());
   }
+
+  /// Wait-for-all: no arrival set smaller than n recovers, so the
+  /// selection kernel degenerates (correctly) to a full sort.
+  std::size_t min_arrivals_hint() const override { return num_workers(); }
 };
 
 }  // namespace coupon::core

@@ -245,6 +245,70 @@ RunRecord SimulatedRuntime::run(const ExperimentConfig& config) const {
   return record;
 }
 
+std::vector<RunRecord> run_simulated_batch(
+    std::span<const ExperimentConfig> configs) {
+  COUPON_ASSERT_MSG(!configs.empty(), "run_simulated_batch: empty batch");
+
+  // Per-cell setup replicates SimulatedRuntime::run's timing-only branch
+  // verbatim — same validation, same RNG draw order (rng(seed), then
+  // scheme construction, then the simulation continues on the same
+  // stream) — so batching is invisible in the records.
+  std::vector<RunRecord> records;
+  records.reserve(configs.size());
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(configs.size());  // stable: cells point into this
+  std::vector<std::unique_ptr<core::Scheme>> schemes;
+  schemes.reserve(configs.size());
+  std::vector<simulate::BatchedCell> cells;
+  cells.reserve(configs.size());
+  for (const ExperimentConfig& config : configs) {
+    COUPON_ASSERT_MSG(!config.train && !config.record_trace,
+                      "run_simulated_batch handles timing-only cells; "
+                      "training/trace cells go through SimulatedRuntime");
+    scenarios.push_back(ScenarioRegistry::instance().build(
+        config.scenario, config.num_workers));
+    const Scenario& scenario = scenarios.back();
+    if (scenario.live_only) {
+      throw std::invalid_argument(
+          "scenario '" + scenario.name +
+          "' needs a live cluster (workers join/leave); use --runtime "
+          "threaded or process");
+    }
+    reject_crash_drill(config, "sim");
+    records.push_back(identity_record(config, "sim"));
+
+    stats::Rng rng(config.seed);
+    schemes.push_back(core::SchemeRegistry::instance().create(
+        config.scheme,
+        scheme_config(config, /*default_seed_first_batches=*/false), rng));
+    records.back().scheme_display = std::string(schemes.back()->name());
+
+    simulate::BatchedCell cell;
+    cell.scheme = schemes.back().get();
+    cell.config =
+        config.cluster_override ? &*config.cluster_override : &scenario.cluster;
+    cell.rng = rng;  // positioned after the scheme's construction draws
+    cell.options.iterations = config.iterations;
+    cell.options.record_trace = false;
+    cells.push_back(std::move(cell));
+  }
+
+  const std::vector<simulate::RunReport> runs =
+      simulate::BatchedKernel(std::move(cells)).run();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const simulate::RunReport& run = runs[i];
+    RunRecord& record = records[i];
+    record.recovery_threshold = run.workers_heard.mean();
+    record.comm_time = run.total_comm_time;
+    record.compute_time = run.total_compute_time;
+    record.total_time = run.total_time;
+    record.mean_units = run.units_received.mean();
+    record.failures = run.failures;
+    record.iterations_run = configs[i].iterations;
+  }
+  return records;
+}
+
 RunRecord ThreadedRuntime::run(const ExperimentConfig& config) const {
   const Scenario scenario = ScenarioRegistry::instance().build(
       config.scenario, config.num_workers);

@@ -21,7 +21,8 @@ RuntimeRegistry::RuntimeRegistry() {
            "no gradients computed",
        .caps = {.simulated_clock = true,
                 .honours_cluster_override = true,
-                .honours_sim_only_scenarios = true},
+                .honours_sim_only_scenarios = true,
+                .batches_sim_cells = true},
        .factory = [] { return std::make_unique<SimulatedRuntime>(); }});
   add({.name = "threaded",
        .aliases = {"thread", "threads"},

@@ -74,6 +74,14 @@ struct SweepOptions {
   std::size_t threads = 0;
   /// Optional streaming consumer; receives records in cell order.
   RecordSink* sink = nullptr;
+  /// Maximum number of consecutive same-n cells grouped into one
+  /// `simulate::BatchedKernel` pass (`run_simulated_batch`) when the
+  /// runtime advertises `batches_sim_cells` and the plan is timing-only
+  /// (train and record_trace off). Batching amortizes RNG, sort, and
+  /// memory traffic across cells and is bit-identical to cell-at-a-time
+  /// execution; 1 disables it. Batches also bound threaded parallelism
+  /// (one batch = one pool task), so leave this modest.
+  std::size_t sim_batch = 8;
 };
 
 /// Executes every cell and returns the records in cell order. Cells run

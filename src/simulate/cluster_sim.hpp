@@ -35,6 +35,18 @@
 /// `EventQueue`-based loop (equivalence argument in DESIGN.md §7, pinned
 /// byte-for-byte by tests/golden/sweep_2x2.jsonl) but with zero
 /// steady-state heap allocations per iteration.
+///
+/// Large-n scaling (n = 10^5..10^6, ROADMAP's million-worker regime):
+/// recovery needs only the earliest K arrivals (K ≈ n - r + 1 for the
+/// threshold schemes, ~(m/r) H_{m/r} for the coverage schemes), so the
+/// kernel sorts just the scheme's `min_arrivals_hint()` prefix up front
+/// (`std::nth_element` + prefix sort) and extends the sorted prefix
+/// geometrically when drops or coverage failure push recovery past it —
+/// bit-identical to the full sort because arrival keys (time, worker)
+/// are unique (DESIGN.md §7.4). `BatchedKernel` additionally carries
+/// many same-n cells (different schemes/seeds) through one lockstep
+/// draw+selection pass over flat per-cell arenas, which is how sweep
+/// grids amortize RNG and memory traffic (driver/sweep.hpp wires it in).
 
 #include <cstddef>
 #include <memory>
@@ -76,18 +88,36 @@ struct RunOptions {
   bool record_trace = false;
 };
 
+/// Tuning knobs for `IterationKernel` (and, implicitly, `BatchedKernel`,
+/// which always selects).
+struct KernelOptions {
+  /// Sort only the scheme's minimum-arrivals prefix up front and extend
+  /// it geometrically on demand (DESIGN.md §7.4) instead of fully
+  /// sorting all n arrivals every iteration. Bit-identical either way —
+  /// the off position exists as the reference the equivalence tests
+  /// compare against, and as an escape hatch for profiling.
+  bool threshold_selection = true;
+};
+
 /// Allocation-free iteration engine for one (scheme, cluster) run
 /// (DESIGN.md §7). Construction precomputes what the old event loop
 /// recomputed per iteration — per-worker placement loads, message service
-/// times (`message_units * unit_transfer_seconds`), message metadata, and
-/// one reusable `Collector` — and each `run` call then executes a full GD
-/// iteration with zero heap allocations in steady state:
+/// times (`message_units * unit_transfer_seconds`), message metadata in
+/// one flat arena, and one reusable `Collector` — and each `run` call
+/// then executes a full GD iteration with zero heap allocations in
+/// steady state:
 ///
 ///   1. drops and compute times are drawn in the exact per-worker RNG
 ///      order of the historical event loop;
-///   2. arrivals are sorted by (finish time, worker index) — identical to
-///      the DES heap's (time, scheduling-seq) order, because compute
-///      completions were scheduled in worker order;
+///   2. the earliest arrivals are materialized in (finish time, worker
+///      index) order — identical to the DES heap's (time,
+///      scheduling-seq) order, because compute completions were
+///      scheduled in worker order. With threshold selection on, only
+///      the scheme's recovery prefix is sorted up front
+///      (`std::nth_element` + prefix sort from `min_arrivals_hint()` /
+///      `expected_recovery_threshold()`), and the sorted prefix doubles
+///      whenever the scan exhausts it without recovery; unique keys
+///      make every prefix bit-identical to the full sort's.
 ///   3. the master's serialized FIFO ingress is resolved by a linear scan
 ///      (`busy-until = max(arrival, busy-until) + service`), offering each
 ///      message to the collector in completion order and stopping at
@@ -105,7 +135,8 @@ class IterationKernel {
     std::size_t worker = 0;
   };
 
-  IterationKernel(const core::Scheme& scheme, const ClusterConfig& config);
+  IterationKernel(const core::Scheme& scheme, const ClusterConfig& config,
+                  KernelOptions options = {});
 
   /// Simulates GD iteration `iteration`, drawing compute times from
   /// `model` (calls `model.begin_iteration` first) and all randomness
@@ -132,10 +163,17 @@ class IterationKernel {
   }
 
   /// Worker `i`'s message metadata (scheme.message_meta(i), precomputed
-  /// per run).
+  /// per run into one flat arena — at n = 10^6 per-worker vectors would
+  /// mean a million pointer-chased allocations).
   std::span<const std::int64_t> meta(std::size_t worker) const {
-    return metas_[worker];
+    return {meta_flat_.data() + meta_offsets_[worker],
+            meta_offsets_[worker + 1] - meta_offsets_[worker]};
   }
+
+  /// The selection start prefix in use: how many earliest arrivals `run`
+  /// sorts before the first scan (n when threshold selection is off or
+  /// the scheme is wait-for-all). Exposed for tests and diagnostics.
+  std::size_t start_prefix() const { return start_prefix_; }
 
  private:
   const core::Scheme& scheme_;
@@ -143,8 +181,11 @@ class IterationKernel {
   std::unique_ptr<core::Collector> collector_;  ///< reset() per iteration
   std::vector<double> loads_;            ///< |G_i| per worker
   std::vector<double> service_seconds_;  ///< ingress occupancy per worker
-  std::vector<std::vector<std::int64_t>> metas_;  ///< message_meta(i)
-  std::vector<Arrival> arrivals_;  ///< reused scratch, capacity n
+  std::vector<std::int64_t> meta_flat_;    ///< all metadata, concatenated
+  std::vector<std::size_t> meta_offsets_;  ///< n + 1 bounds into meta_flat_
+  std::vector<Arrival> arrivals_;  ///< reused scratch arena, size n
+  std::size_t count_ = 0;          ///< arrivals drawn this iteration
+  std::size_t start_prefix_ = 0;   ///< initial sorted-prefix length
 };
 
 /// Simulates one iteration of distributed GD for `scheme` on a cluster
@@ -179,5 +220,63 @@ RunReport simulate_run(const core::Scheme& scheme, const ClusterConfig& config,
 /// trace recorded (the historical behaviour of this signature).
 RunReport simulate_run(const core::Scheme& scheme, const ClusterConfig& config,
                        std::size_t iterations, stats::Rng& rng);
+
+/// One cell of a `BatchedKernel` run: a (scheme, cluster, RNG stream)
+/// tuple positioned exactly where `simulate_run` would start drawing —
+/// i.e. `rng` is a copy of the caller's generator *after* scheme
+/// construction consumed its share. `scheme` and `config` must outlive
+/// the kernel; all cells must share one worker count n.
+struct BatchedCell {
+  const core::Scheme* scheme = nullptr;
+  const ClusterConfig* config = nullptr;
+  stats::Rng rng{0};
+  RunOptions options;
+};
+
+/// Structure-of-arrays batch engine: carries many same-n sweep cells
+/// (different schemes/seeds/latency models) through one lockstep
+/// draw+selection pass per iteration (DESIGN.md §7.5). All per-cell
+/// scratch lives in flat C x n arenas carved at construction — arrival
+/// rows, service times, loads, metadata — so the steady-state loop
+/// performs zero heap allocations (traces off) and a fig2-style grid
+/// walks memory sequentially instead of bouncing between C kernels.
+///
+/// Determinism: each cell owns its RNG stream, latency model, and
+/// collector, so interleaving cells within an iteration cannot perturb
+/// any cell's draws — `run()` is bit-identical to running every cell
+/// through its own `IterationKernel` via `simulate_run`, in any order.
+class BatchedKernel {
+ public:
+  /// Validates the batch (non-empty, uniform n) and builds the arenas,
+  /// per-cell collectors, and latency models. Threshold selection is
+  /// always on (it is bit-identical to the full sort).
+  explicit BatchedKernel(std::vector<BatchedCell> cells);
+
+  std::size_t num_cells() const { return cells_.size(); }
+
+  /// Runs every cell's iterations in lockstep (iteration-major, cell-
+  /// minor) and returns one `RunReport` per cell, in cell order. One-
+  /// shot: each call continues the cells' RNG/model state, so call it
+  /// once per kernel for `simulate_run`-equivalent results.
+  std::vector<RunReport> run();
+
+ private:
+  struct CellState {
+    BatchedCell cell;
+    std::unique_ptr<core::Collector> collector;
+    std::unique_ptr<LatencyModel> model;
+    std::size_t start_prefix = 0;
+    RunReport report;
+  };
+
+  std::size_t num_workers_ = 0;
+  std::vector<CellState> cells_;
+  /// Flat C x n arenas; cell c's row occupies [c * n, (c + 1) * n).
+  std::vector<IterationKernel::Arrival> arrivals_;
+  std::vector<double> loads_;
+  std::vector<double> service_seconds_;
+  std::vector<std::int64_t> meta_flat_;    ///< all cells' metadata
+  std::vector<std::size_t> meta_offsets_;  ///< C x n + 1 bounds
+};
 
 }  // namespace coupon::simulate

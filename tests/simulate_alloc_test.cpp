@@ -131,6 +131,66 @@ TEST(AllocationFree, DropsAndCoverageFailuresStayAllocationFree) {
             0u);
 }
 
+TEST(AllocationFree, LargeNSelectionPathStaysAllocationFree) {
+  // The million-worker regime's representative: n = 1e5 with threshold
+  // selection engaged (start_prefix << n). nth_element, the prefix sort,
+  // and the geometric extensions must all run inside the preallocated
+  // arrival arena — any per-iteration allocation at this n is the
+  // difference between the kernel scaling and not.
+  core::SchemeConfig config;
+  config.num_workers = 100'000;
+  config.num_units = 100'000;
+  config.load = 40;
+  stats::Rng build_rng(17);
+  const auto scheme =
+      core::SchemeRegistry::instance().create("bcc", config, build_rng);
+  {
+    IterationKernel probe(*scheme, alloc_test_cluster());
+    ASSERT_LT(probe.start_prefix(), scheme->num_workers());
+  }
+  EXPECT_EQ(steady_state_allocations(*scheme, alloc_test_cluster(),
+                                     /*warmup=*/2, /*iterations=*/20),
+            0u);
+}
+
+TEST(AllocationFree, BatchedKernelSteadyStateOnlyAllocatesSetup) {
+  // Same bound technique as the simulate_run test: a fresh BatchedKernel
+  // run at 10 iterations and one at 500 must allocate identically — the
+  // flat arenas are carved at construction, the lockstep loop reuses
+  // them. (Traces off; per-cell trace vectors are the documented
+  // exception.)
+  auto count_batched_run = [](std::size_t iterations) {
+    core::SchemeConfig config;
+    config.num_workers = 64;
+    config.num_units = 64;
+    config.load = 4;
+    std::vector<std::unique_ptr<core::Scheme>> schemes;
+    std::vector<BatchedCell> cells;
+    const ClusterConfig cluster = alloc_test_cluster();
+    for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+      stats::Rng rng(seed);
+      schemes.push_back(
+          core::SchemeRegistry::instance().create("bcc", config, rng));
+      BatchedCell cell;
+      cell.scheme = schemes.back().get();
+      cell.config = &cluster;
+      cell.rng = rng;
+      cell.options.iterations = iterations;
+      cell.options.record_trace = false;
+      cells.push_back(cell);
+    }
+    const std::size_t before = g_allocations.load();
+    const auto reports = BatchedKernel(std::move(cells)).run();
+    const std::size_t after = g_allocations.load();
+    EXPECT_EQ(reports.size(), 4u);
+    EXPECT_EQ(reports[0].workers_heard.count(), iterations);
+    return after - before;
+  };
+
+  const std::size_t setup_cost = count_batched_run(10);
+  EXPECT_EQ(count_batched_run(500), setup_cost);
+}
+
 TEST(AllocationFree, SimulateRunWithoutTraceOnlyAllocatesSetup) {
   // The full simulate_run path: model + kernel construction allocate, the
   // iteration loop must not. Bound the whole call by the cost of a
