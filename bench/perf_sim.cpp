@@ -103,6 +103,11 @@ const std::vector<Cell>& grid() {
       {"bcc", 50, 50, 10, 500, /*train=*/true},
       {"uncoded", 100, 100, 10, 200, /*train=*/true},
       {"bcc", 100, 100, 10, 200, /*train=*/true},
+      // Gradient-coding training rows (r-unit messages, per-unit decode)
+      // and the lockstep multi-seed train kernel (DESIGN.md §12).
+      {"gc_cyclic", 50, 50, 10, 500, /*train=*/true},
+      {"sgc", 50, 50, 10, 500, /*train=*/true},
+      {"bcc", 50, 50, 10, 500, /*train=*/true, /*batch=*/8},
   };
   return cells;
 }
@@ -114,9 +119,12 @@ struct Result {
   double best_seconds = 0.0;
   double iters_per_sec = 0.0;
 
-  /// The perf_check matching key: "<scheme>", "train:<scheme>", or
-  /// "batch<k>:<scheme>".
+  /// The perf_check matching key: "<scheme>", "train:<scheme>",
+  /// "batch<k>:<scheme>", or "batch<k>-train:<scheme>".
   std::string key() const {
+    if (cell.train && cell.batch > 0) {
+      return "batch" + std::to_string(cell.batch) + "-train:" + cell.scheme;
+    }
     if (cell.train) {
       return std::string("train:") + cell.scheme;
     }
@@ -168,6 +176,11 @@ Result run_cell(const Cell& cell, std::size_t iterations, std::size_t reps) {
                                                         *partition);
   }
 
+  // Batched training rows share one cluster config across cells (the
+  // provider holds it by shared_ptr).
+  const auto shared_cluster =
+      std::make_shared<const simulate::ClusterConfig>(cluster);
+
   Result result;
   result.cell = cell;
   result.iterations = iterations;
@@ -177,7 +190,36 @@ Result run_cell(const Cell& cell, std::size_t iterations, std::size_t reps) {
     stats::Rng rng(0x5EED + rep);
     WallTimer timer;
     double elapsed = 0.0;
-    if (cell.train) {
+    if (cell.train && cell.batch > 0) {
+      // Lockstep multi-seed training: one BatchedTrainKernel pass over
+      // `batch` same-shape cells (kernel construction is measured,
+      // matching the per-call setup of the plain train rows).
+      std::vector<std::unique_ptr<opt::IterativeOptimizer>> optimizers;
+      std::vector<engine::BatchedTrainCell> cells;
+      cells.reserve(cell.batch);
+      for (std::size_t i = 0; i < cell.batch; ++i) {
+        engine::BatchedTrainCell tc;
+        tc.scheme = i == 0 ? scheme.get() : batch_schemes[i - 1].get();
+        tc.source = source.get();
+        tc.cluster = shared_cluster;
+        tc.rng = stats::Rng(0x5EED + rep + 7919 * i);
+        optimizers.push_back(std::make_unique<opt::NesterovGradient>(
+            source->dim(), opt::LearningRateSchedule::constant(2.0)));
+        tc.optimizer = optimizers.back().get();
+        tc.options.iterations = iterations;
+        cells.push_back(std::move(tc));
+      }
+      const auto reports =
+          engine::BatchedTrainKernel(std::move(cells)).run();
+      elapsed = timer.seconds();
+      for (const auto& report : reports) {
+        if (report.failed_iterations != 0) {
+          std::fprintf(stderr,
+                       "perf_sim: batched training run dropped iterations\n");
+          std::exit(1);
+        }
+      }
+    } else if (cell.train) {
       engine::SimulatedProvider provider(*scheme, *source, cluster, rng);
       engine::TrainingEngine protocol(*scheme, *source, provider);
       opt::NesterovGradient optimizer(

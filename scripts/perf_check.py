@@ -78,6 +78,26 @@ def main():
         if ratio > args.max_slowdown:
             failures.append(key)
 
+    # Informational: how much slower the training path runs than the
+    # timing-only kernel at the same shape (train:<s> vs <s> rows in the
+    # CURRENT file). The ratio is the cost of real gradients + encode +
+    # decode per iteration; ROADMAP item 4 tracks closing it. Not a gate —
+    # it moves with p and examples/unit, not just with code quality.
+    ratios = []
+    for (scheme, n, m, r), row in sorted(current.items()):
+        if not scheme.startswith("train:"):
+            continue
+        timing = current.get((scheme[len("train:"):], n, m, r))
+        if timing is None or row["iters_per_sec"] <= 0:
+            continue
+        ratios.append((scheme, n, m, r,
+                       timing["iters_per_sec"] / row["iters_per_sec"]))
+    if ratios:
+        print("train/timing throughput ratio (informational):")
+        for scheme, n, m, r, ratio in ratios:
+            print(f"     {scheme:14s} n={n:<7d} m={m:<7d} r={r:<3d} "
+                  f"timing-only is x{ratio:.1f} the training throughput")
+
     slow_rows = []
     if args.max_row_seconds > 0:
         for key, row in sorted(current.items()):

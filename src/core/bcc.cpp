@@ -129,16 +129,22 @@ BccScheme::BccScheme(std::size_t num_workers, std::size_t num_units,
 comm::Message BccScheme::encode(std::size_t worker,
                                 const UnitGradientSource& source,
                                 std::span<const double> w) const {
-  COUPON_ASSERT(worker < num_workers());
-  COUPON_ASSERT(source.num_units() == num_units());
   comm::Message msg;
   msg.tag = comm::kTagGradient;
-  msg.meta = {static_cast<std::int64_t>(batch_choice_[worker])};
-  msg.payload.assign(source.dim(), 0.0);
-  for (std::size_t unit : placement_.worker(worker)) {
-    source.accumulate_unit_gradient(unit, w, msg.payload);
-  }
+  encode_into(worker, source, w, msg);
   return msg;
+}
+
+void BccScheme::encode_into(std::size_t worker,
+                            const UnitGradientSource& source,
+                            std::span<const double> w,
+                            comm::Message& out) const {
+  COUPON_ASSERT(worker < num_workers());
+  COUPON_ASSERT(source.num_units() == num_units());
+  out.meta.assign(1, static_cast<std::int64_t>(batch_choice_[worker]));
+  out.payload.assign(source.dim(), 0.0);
+  source.accumulate_units_gradient(placement_.worker(worker), w,
+                                   out.payload);
 }
 
 std::vector<std::int64_t> BccScheme::message_meta(std::size_t worker) const {

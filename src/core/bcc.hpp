@@ -34,9 +34,20 @@ class BccScheme final : public Scheme {
 
   comm::Message encode(std::size_t worker, const UnitGradientSource& source,
                        std::span<const double> w) const override;
+  void encode_into(std::size_t worker, const UnitGradientSource& source,
+                   std::span<const double> w,
+                   comm::Message& out) const override;
   double message_units(std::size_t) const override { return 1.0; }
   std::vector<std::int64_t> message_meta(std::size_t worker) const override;
   std::unique_ptr<Collector> make_collector() const override;
+
+  /// All workers that chose the same batch send bitwise-identical
+  /// messages: same meta {batch}, and the same payload because both sum
+  /// the batch's units in the partition's ascending order.
+  std::optional<std::size_t> encode_group(std::size_t worker) const override {
+    return batch_of_worker(worker);
+  }
+  std::size_t num_encode_groups() const override { return num_batches(); }
 
   /// Eq. (2): ceil(m/r) * H_{ceil(m/r)}.
   std::optional<double> expected_recovery_threshold() const override;

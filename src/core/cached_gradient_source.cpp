@@ -1,0 +1,48 @@
+#include "core/cached_gradient_source.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace coupon::core {
+
+CachedGradientSource::CachedGradientSource(const UnitGradientSource& inner)
+    : inner_(inner),
+      slab_(inner.num_units() * inner.dim(), 0.0),
+      stamp_(inner.num_units(), 0) {}
+
+std::span<const double> CachedGradientSource::ensure_cached(
+    std::size_t unit, std::span<const double> w) const {
+  COUPON_ASSERT(unit < stamp_.size());
+  const std::size_t p = inner_.dim();
+  const std::span<double> row{slab_.data() + unit * p, p};
+  if (stamp_[unit] != epoch_) {
+    inner_.unit_gradient(unit, w, row);
+    stamp_[unit] = epoch_;
+  }
+  return row;
+}
+
+void CachedGradientSource::unit_gradient(std::size_t unit,
+                                         std::span<const double> w,
+                                         std::span<double> out) const {
+  const std::span<const double> row = ensure_cached(unit, w);
+  COUPON_ASSERT(out.size() == row.size());
+  std::copy(row.begin(), row.end(), out.begin());
+}
+
+void CachedGradientSource::accumulate_unit_gradient(std::size_t unit,
+                                                    std::span<const double> w,
+                                                    std::span<double> out) const {
+  // Deliberately uncached: accumulate-style encoders rely on the inner
+  // source's example-level summation order (see file comment).
+  inner_.accumulate_unit_gradient(unit, w, out);
+}
+
+std::span<const double> CachedGradientSource::unit_gradient_view(
+    std::size_t unit, std::span<const double> w,
+    std::span<double> /*scratch*/) const {
+  return ensure_cached(unit, w);
+}
+
+}  // namespace coupon::core

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file cached_gradient_source.hpp
+/// Per-iteration memoization of unit gradients.
+///
+/// Repetition schemes place each unit on r workers, so a naive encode pass
+/// computes every unit gradient r times per iteration. `CachedGradientSource`
+/// wraps an inner source and computes each `unit_gradient` at most once per
+/// iteration, serving later requests from a flat m×p slab (contiguous rows,
+/// SIMD-friendly for axpy via `unit_gradient_view`).
+///
+/// Scope of the cache — and why it is bitwise-transparent:
+///   * `unit_gradient` / `unit_gradient_view` are memoized. The cached row
+///     is the inner source's own output, so reading it back is bit-identical
+///     to recomputing it (the query point is fixed within an iteration).
+///   * `accumulate_unit_gradient` delegates to the inner source *uncached*.
+///     Accumulate-style encoders (uncoded/BCC/FR/SGC) fold examples into a
+///     running sum whose floating-point association order differs from
+///     "unit gradient, then add"; golden traces pin those exact bytes, so
+///     the cache must not rewrite them.
+///
+/// Invalidation rule: one iteration. Call `begin_iteration()` whenever the
+/// query point changes; it bumps a 64-bit epoch (O(1), allocation-free) and
+/// every cached row becomes stale. Not thread-safe — intended for the
+/// single-threaded simulated provider.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/gradient_source.hpp"
+
+namespace coupon::core {
+
+class CachedGradientSource final : public UnitGradientSource {
+ public:
+  explicit CachedGradientSource(const UnitGradientSource& inner);
+
+  /// Invalidates every cached unit gradient. Must be called whenever the
+  /// query point `w` changes; all `unit_gradient*` calls between two
+  /// `begin_iteration()` boundaries must pass the same `w`.
+  void begin_iteration() { ++epoch_; }
+
+  std::size_t num_units() const override { return inner_.num_units(); }
+  std::size_t dim() const override { return inner_.dim(); }
+  std::size_t num_examples() const override { return inner_.num_examples(); }
+
+  void unit_gradient(std::size_t unit, std::span<const double> w,
+                     std::span<double> out) const override;
+  void accumulate_unit_gradient(std::size_t unit, std::span<const double> w,
+                                std::span<double> out) const override;
+  /// Forwards to the inner source uncached, like the single-unit
+  /// accumulate — the inner override (one example-level pass per
+  /// adjacent-unit run) is exactly the fast path the wrap must not hide.
+  void accumulate_units_gradient(std::span<const std::size_t> units,
+                                 std::span<const double> w,
+                                 std::span<double> out) const override {
+    inner_.accumulate_units_gradient(units, w, out);
+  }
+  std::span<const double> unit_gradient_view(
+      std::size_t unit, std::span<const double> w,
+      std::span<double> scratch) const override;
+
+ private:
+  std::span<const double> ensure_cached(std::size_t unit,
+                                        std::span<const double> w) const;
+
+  const UnitGradientSource& inner_;
+  mutable std::vector<double> slab_;          // m rows of p doubles
+  mutable std::vector<std::uint64_t> stamp_;  // per-unit epoch of last fill
+  std::uint64_t epoch_ = 1;                   // stamp_ starts at 0 => stale
+};
+
+}  // namespace coupon::core

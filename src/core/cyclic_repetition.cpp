@@ -12,11 +12,15 @@ namespace coupon::core {
 namespace {
 
 /// Keeps the first n - s distinct workers' messages, then decodes via the
-/// scheme's coding matrix.
+/// scheme's coding matrix. Kept payloads live in fixed slots (paired with
+/// `workers_` by index) and all decode temporaries are reusable scratch,
+/// so a reset-and-reused collector allocates nothing once warm.
 class CrCollector final : public Collector {
  public:
   CrCollector(const CyclicRepetitionScheme& scheme, std::size_t needed)
-      : scheme_(scheme), needed_(needed) {}
+      : scheme_(scheme), needed_(needed), slots_(needed) {
+    workers_.reserve(needed);
+  }
 
   bool offer(std::size_t worker, std::span<const std::int64_t> meta,
              std::span<const double> payload) override {
@@ -32,7 +36,8 @@ class CrCollector final : public Collector {
     }
     workers_.push_back(worker);
     if (!payload.empty()) {
-      payloads_.emplace_back(payload.begin(), payload.end());
+      slots_[workers_.size() - 1].assign(payload.begin(), payload.end());
+      ++filled_;
     }
     ready_ = workers_.size() >= needed_;
     return true;
@@ -42,43 +47,48 @@ class CrCollector final : public Collector {
 
   void decode_sum(std::span<double> out) const override {
     COUPON_ASSERT_MSG(ready_, "decode before n - s workers reported");
-    COUPON_ASSERT_MSG(payloads_.size() == workers_.size(),
-                      "decode without payloads");
+    COUPON_ASSERT_MSG(filled_ == workers_.size(), "decode without payloads");
     // Sort the kept set by worker index so the decode (coefficient solve
     // and the combination order) is independent of arrival order.
-    std::vector<std::size_t> perm(workers_.size());
-    for (std::size_t k = 0; k < perm.size(); ++k) {
-      perm[k] = k;
+    perm_.resize(workers_.size());
+    for (std::size_t k = 0; k < perm_.size(); ++k) {
+      perm_[k] = k;
     }
-    std::sort(perm.begin(), perm.end(), [this](std::size_t a, std::size_t b) {
-      return workers_[a] < workers_[b];
-    });
-    std::vector<std::size_t> sorted_workers(workers_.size());
-    for (std::size_t k = 0; k < perm.size(); ++k) {
-      sorted_workers[k] = workers_[perm[k]];
+    std::sort(perm_.begin(), perm_.end(),
+              [this](std::size_t a, std::size_t b) {
+                return workers_[a] < workers_[b];
+              });
+    sorted_workers_.resize(workers_.size());
+    for (std::size_t k = 0; k < perm_.size(); ++k) {
+      sorted_workers_[k] = workers_[perm_[k]];
     }
-    auto coeffs = scheme_.decoding_coefficients(sorted_workers);
-    COUPON_ASSERT_MSG(coeffs.has_value(), "CR decode solve failed");
+    const bool solved =
+        scheme_.decoding_coefficients_into(sorted_workers_, ws_);
+    COUPON_ASSERT_MSG(solved, "CR decode solve failed");
     linalg::fill(out, 0.0);
-    for (std::size_t k = 0; k < perm.size(); ++k) {
-      const auto& payload = payloads_[perm[k]];
+    for (std::size_t k = 0; k < perm_.size(); ++k) {
+      const auto& payload = slots_[perm_[k]];
       COUPON_ASSERT(payload.size() == out.size());
-      linalg::axpy((*coeffs)[k], payload, out);
+      linalg::axpy(ws_.coeffs[k], payload, out);
     }
   }
 
  private:
   void do_reset() override {
     workers_.clear();
-    payloads_.clear();
+    filled_ = 0;
     ready_ = false;
   }
 
   const CyclicRepetitionScheme& scheme_;
   std::size_t needed_;
   bool ready_ = false;
+  std::size_t filled_ = 0;
   std::vector<std::size_t> workers_;
-  std::vector<std::vector<double>> payloads_;
+  std::vector<std::vector<double>> slots_;  // slots_[k] pairs workers_[k]
+  mutable std::vector<std::size_t> perm_;
+  mutable std::vector<std::size_t> sorted_workers_;
+  mutable CrDecodeWorkspace ws_;
 };
 
 data::Placement cyclic_placement(std::size_t n, std::size_t r) {
@@ -162,19 +172,31 @@ CyclicRepetitionScheme::CyclicRepetitionScheme(std::size_t num_workers,
 comm::Message CyclicRepetitionScheme::encode(std::size_t worker,
                                              const UnitGradientSource& source,
                                              std::span<const double> w) const {
+  comm::Message msg;
+  msg.tag = comm::kTagGradient;
+  encode_into(worker, source, w, msg);
+  return msg;
+}
+
+void CyclicRepetitionScheme::encode_into(std::size_t worker,
+                                         const UnitGradientSource& source,
+                                         std::span<const double> w,
+                                         comm::Message& out) const {
   COUPON_ASSERT(worker < num_workers());
   COUPON_ASSERT(source.num_units() == num_units());
   const std::size_t dim = source.dim();
-  comm::Message msg;
-  msg.tag = comm::kTagGradient;
-  msg.meta = {static_cast<std::int64_t>(worker)};
-  msg.payload.assign(dim, 0.0);
-  std::vector<double> unit_grad(dim);
+  out.meta.assign(1, static_cast<std::int64_t>(worker));
+  // The payload tail doubles as unit-gradient scratch (trimmed before
+  // returning), so a warm encode allocates nothing. A caching source's
+  // `unit_gradient_view` ignores the scratch and serves its own slab row.
+  out.payload.assign(2 * dim, 0.0);
+  const std::span<double> acc{out.payload.data(), dim};
+  const std::span<double> scratch{out.payload.data() + dim, dim};
   for (std::size_t unit : placement_.worker(worker)) {
-    source.unit_gradient(unit, w, unit_grad);
-    linalg::axpy(b_(worker, unit), unit_grad, msg.payload);
+    const std::span<const double> g = source.unit_gradient_view(unit, w, scratch);
+    linalg::axpy(b_(worker, unit), g, acc);
   }
-  return msg;
+  out.payload.resize(dim);
 }
 
 std::unique_ptr<Collector> CyclicRepetitionScheme::make_collector() const {
@@ -184,21 +206,31 @@ std::unique_ptr<Collector> CyclicRepetitionScheme::make_collector() const {
 
 std::optional<std::vector<double>> CyclicRepetitionScheme::decoding_coefficients(
     std::span<const std::size_t> workers) const {
+  CrDecodeWorkspace ws;
+  if (!decoding_coefficients_into(workers, ws)) {
+    return std::nullopt;
+  }
+  return std::move(ws.coeffs);
+}
+
+bool CyclicRepetitionScheme::decoding_coefficients_into(
+    std::span<const std::size_t> workers, CrDecodeWorkspace& ws) const {
   const std::size_t n = num_workers();
   if (workers.size() < n - stragglers_tolerated()) {
-    return std::nullopt;
+    return false;
   }
   // Solve B_W^T a = 1: an n x |W| overdetermined system with an exact
   // solution by construction (1 is in the row space of B_W).
-  linalg::Matrix bwt(n, workers.size());
+  ws.bwt.resize(n, workers.size());
   for (std::size_t k = 0; k < workers.size(); ++k) {
     COUPON_ASSERT(workers[k] < n);
     for (std::size_t j = 0; j < n; ++j) {
-      bwt(j, k) = b_(workers[k], j);
+      ws.bwt(j, k) = b_(workers[k], j);
     }
   }
-  std::vector<double> ones(n, 1.0);
-  return linalg::lstsq(bwt, ones);
+  ws.ones.assign(n, 1.0);
+  ws.coeffs.resize(workers.size());
+  return linalg::lstsq_into(ws.bwt, ws.ones, ws.coeffs, ws.lstsq);
 }
 
 }  // namespace coupon::core

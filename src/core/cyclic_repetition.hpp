@@ -23,8 +23,18 @@
 
 #include "core/scheme.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
 
 namespace coupon::core {
+
+/// Scratch reused by `decoding_coefficients_into` so the per-iteration CR
+/// decode performs zero allocations once warm. `coeffs` holds the result.
+struct CrDecodeWorkspace {
+  linalg::Matrix bwt;
+  std::vector<double> ones;
+  std::vector<double> coeffs;
+  linalg::LstsqWorkspace lstsq;
+};
 
 /// Cyclic-repetition gradient coding (requires m == n).
 class CyclicRepetitionScheme final : public Scheme {
@@ -41,6 +51,9 @@ class CyclicRepetitionScheme final : public Scheme {
 
   comm::Message encode(std::size_t worker, const UnitGradientSource& source,
                        std::span<const double> w) const override;
+  void encode_into(std::size_t worker, const UnitGradientSource& source,
+                   std::span<const double> w,
+                   comm::Message& out) const override;
   double message_units(std::size_t) const override { return 1.0; }
   std::vector<std::int64_t> message_meta(std::size_t worker) const override {
     return {static_cast<std::int64_t>(worker)};
@@ -69,6 +82,12 @@ class CyclicRepetitionScheme final : public Scheme {
   /// too small or the solve is numerically rank-deficient.
   std::optional<std::vector<double>> decoding_coefficients(
       std::span<const std::size_t> workers) const;
+
+  /// Workspace-reusing variant: writes the |W| coefficients into
+  /// `ws.coeffs` (bits identical to `decoding_coefficients`). Returns
+  /// false when the subset is too small or the solve is rank deficient.
+  bool decoding_coefficients_into(std::span<const std::size_t> workers,
+                                  CrDecodeWorkspace& ws) const;
 
  private:
   std::size_t load_;

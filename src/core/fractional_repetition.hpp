@@ -29,11 +29,21 @@ class FractionalRepetitionScheme final : public Scheme {
 
   comm::Message encode(std::size_t worker, const UnitGradientSource& source,
                        std::span<const double> w) const override;
+  void encode_into(std::size_t worker, const UnitGradientSource& source,
+                   std::span<const double> w,
+                   comm::Message& out) const override;
   double message_units(std::size_t) const override { return 1.0; }
   std::vector<std::int64_t> message_meta(std::size_t worker) const override {
     return {static_cast<std::int64_t>(block_of_worker(worker))};
   }
   std::unique_ptr<Collector> make_collector() const override;
+
+  /// The r workers of one block hold the same units in the same ascending
+  /// order, so their messages are bitwise identical.
+  std::optional<std::size_t> encode_group(std::size_t worker) const override {
+    return block_of_worker(worker);
+  }
+  std::size_t num_encode_groups() const override { return num_blocks(); }
 
   /// No closed form for the average (block-coverage without replacement);
   /// worst case is n - r + 1. Estimated empirically in theory::.

@@ -146,29 +146,45 @@ GcNestedScheme::GcNestedScheme(std::size_t num_workers, std::size_t load)
 comm::Message GcNestedScheme::encode(std::size_t worker,
                                      const UnitGradientSource& source,
                                      std::span<const double> w) const {
+  comm::Message msg;
+  msg.tag = comm::kTagGradient;
+  encode_into(worker, source, w, msg);
+  return msg;
+}
+
+void GcNestedScheme::encode_into(std::size_t worker,
+                                 const UnitGradientSource& source,
+                                 std::span<const double> w,
+                                 comm::Message& out) const {
   COUPON_ASSERT(worker < num_workers());
   COUPON_ASSERT(source.num_units() == num_units());
   const auto& units = placement_.worker(worker);
   const std::size_t dim = source.dim();
-  comm::Message msg;
-  msg.tag = comm::kTagGradient;
-  msg.meta = {static_cast<std::int64_t>(worker)};
-  msg.payload.assign(widths_.size() * dim, 0.0);
-  // Prefix sums of the window's unit gradients: accumulate unit k into a
-  // running sum and snapshot it whenever k + 1 hits a level width.
-  std::vector<double> running(dim, 0.0);
+  const std::size_t levels = widths_.size();
+  out.meta.assign(1, static_cast<std::int64_t>(worker));
+  // Prefix sums of the window's unit gradients: add unit k's gradient to
+  // a running sum and snapshot it whenever k + 1 hits a level width. The
+  // sum is built unit-by-unit (not example-by-example) so a caching
+  // source can serve each unit's gradient once to all r windows holding
+  // it. The payload tail holds the running sum and unit scratch (trimmed
+  // before returning), keeping a warm encode allocation-free.
+  out.payload.assign((levels + 2) * dim, 0.0);
+  const std::span<double> running{out.payload.data() + levels * dim, dim};
+  const std::span<double> scratch{out.payload.data() + (levels + 1) * dim,
+                                  dim};
   std::size_t level = 0;
   for (std::size_t k = 0; k < units.size(); ++k) {
-    source.accumulate_unit_gradient(units[k], w, running);
-    if (level < widths_.size() && k + 1 == widths_[level]) {
+    const std::span<const double> g =
+        source.unit_gradient_view(units[k], w, scratch);
+    linalg::axpy(1.0, g, running);
+    if (level < levels && k + 1 == widths_[level]) {
       std::copy(running.begin(), running.end(),
-                msg.payload.begin() +
-                    static_cast<std::ptrdiff_t>(level * dim));
+                out.payload.begin() + static_cast<std::ptrdiff_t>(level * dim));
       ++level;
     }
   }
-  COUPON_ASSERT(level == widths_.size());
-  return msg;
+  COUPON_ASSERT(level == levels);
+  out.payload.resize(levels * dim);
 }
 
 std::vector<std::int64_t> GcNestedScheme::message_meta(

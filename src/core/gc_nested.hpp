@@ -39,6 +39,9 @@ class GcNestedScheme final : public Scheme {
 
   comm::Message encode(std::size_t worker, const UnitGradientSource& source,
                        std::span<const double> w) const override;
+  void encode_into(std::size_t worker, const UnitGradientSource& source,
+                   std::span<const double> w,
+                   comm::Message& out) const override;
   double message_units(std::size_t) const override {
     return static_cast<double>(widths_.size());
   }

@@ -21,6 +21,14 @@ void PerExampleSource::accumulate_unit_gradient(std::size_t unit,
   opt::partial_gradient_sum(dataset_, one, w, out, /*accumulate=*/true);
 }
 
+void PerExampleSource::accumulate_units_gradient(
+    std::span<const std::size_t> units, std::span<const double> w,
+    std::span<double> out) const {
+  // Unit index == example index: the whole list is one example-level
+  // pass, visiting examples in exactly the per-unit call order.
+  opt::partial_gradient_sum(dataset_, units, w, out, /*accumulate=*/true);
+}
+
 void LeastSquaresExampleSource::unit_gradient(std::size_t unit,
                                               std::span<const double> w,
                                               std::span<double> out) const {
@@ -38,19 +46,69 @@ void LeastSquaresExampleSource::accumulate_unit_gradient(
                                     /*accumulate=*/true);
 }
 
+void LeastSquaresExampleSource::accumulate_units_gradient(
+    std::span<const std::size_t> units, std::span<const double> w,
+    std::span<double> out) const {
+  opt::squared_partial_gradient_sum(dataset_, units, w, out,
+                                    /*accumulate=*/true);
+}
+
+namespace {
+
+/// BatchPartition slices one iota index array, so every batch (and every
+/// merged run of adjacent batches) is the contiguous example range
+/// [front, front + size). Debug-checked, then taken as the range form.
+void grouped_range_sum(const data::Dataset& dataset,
+                       std::span<const std::size_t> run,
+                       std::span<const double> w, std::span<double> out,
+                       bool accumulate) {
+  COUPON_DCHECK(run.empty() ||
+                run.back() == run.front() + run.size() - 1);
+  opt::partial_gradient_range(dataset, run.empty() ? 0 : run.front(),
+                              run.size(), w, out, accumulate);
+}
+
+}  // namespace
+
 void GroupedBatchSource::unit_gradient(std::size_t unit,
                                        std::span<const double> w,
                                        std::span<double> out) const {
   COUPON_ASSERT(unit < num_units());
-  opt::partial_gradient_sum(dataset_, partition_.indices(unit), w, out,
-                            /*accumulate=*/false);
+  grouped_range_sum(dataset_, partition_.indices(unit), w, out,
+                    /*accumulate=*/false);
 }
 
 void GroupedBatchSource::accumulate_unit_gradient(
     std::size_t unit, std::span<const double> w, std::span<double> out) const {
   COUPON_ASSERT(unit < num_units());
-  opt::partial_gradient_sum(dataset_, partition_.indices(unit), w, out,
-                            /*accumulate=*/true);
+  grouped_range_sum(dataset_, partition_.indices(unit), w, out,
+                    /*accumulate=*/true);
+}
+
+void GroupedBatchSource::accumulate_units_gradient(
+    std::span<const std::size_t> units, std::span<const double> w,
+    std::span<double> out) const {
+  // Batches slice one flat index array, so consecutive units' index
+  // spans are usually adjacent in memory: merge each maximal adjacent
+  // run and make one example-level pass over it. The concatenation
+  // preserves the per-unit example order exactly, so the gradient bits
+  // match the unit-at-a-time loop.
+  std::size_t i = 0;
+  while (i < units.size()) {
+    COUPON_ASSERT(units[i] < num_units());
+    std::span<const std::size_t> run = partition_.indices(units[i]);
+    std::size_t j = i + 1;
+    for (; j < units.size(); ++j) {
+      COUPON_ASSERT(units[j] < num_units());
+      const std::span<const std::size_t> next = partition_.indices(units[j]);
+      if (run.data() + run.size() != next.data()) {
+        break;
+      }
+      run = {run.data(), run.size() + next.size()};
+    }
+    grouped_range_sum(dataset_, run, w, out, /*accumulate=*/true);
+    i = j;
+  }
 }
 
 }  // namespace coupon::core

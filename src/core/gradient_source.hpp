@@ -41,6 +41,35 @@ class UnitGradientSource {
   virtual void accumulate_unit_gradient(std::size_t unit,
                                         std::span<const double> w,
                                         std::span<double> out) const = 0;
+
+  /// out += sum of unit gradients of `units`, in order. Exactly
+  /// equivalent to calling `accumulate_unit_gradient` once per unit (the
+  /// default does just that), but sources that know their units' example
+  /// indices can fold the whole list into one example-level pass —
+  /// encoders that sum many units per message (bcc batches, fr blocks)
+  /// call this once per message, which measurably cuts per-unit
+  /// dispatch overhead on the training path (DESIGN.md §12). Overrides
+  /// must preserve the example visitation order bit-for-bit.
+  virtual void accumulate_units_gradient(std::span<const std::size_t> units,
+                                         std::span<const double> w,
+                                         std::span<double> out) const {
+    for (const std::size_t unit : units) {
+      accumulate_unit_gradient(unit, w, out);
+    }
+  }
+
+  /// Returns a read-only view of the unit gradient at `w`. The default
+  /// computes into `scratch` (size dim()) and returns it; caching sources
+  /// return a pointer into their own storage without touching `scratch`.
+  /// The view is valid until the next call on this source with the same
+  /// `scratch`, or until the cache is invalidated. Lets encoders axpy
+  /// straight from cached slabs without a copy.
+  virtual std::span<const double> unit_gradient_view(
+      std::size_t unit, std::span<const double> w,
+      std::span<double> scratch) const {
+    unit_gradient(unit, w, scratch);
+    return scratch;
+  }
 };
 
 /// Units are single examples: unit j == example j.
@@ -58,6 +87,9 @@ class PerExampleSource final : public UnitGradientSource {
                      std::span<double> out) const override;
   void accumulate_unit_gradient(std::size_t unit, std::span<const double> w,
                                 std::span<double> out) const override;
+  void accumulate_units_gradient(std::span<const std::size_t> units,
+                                 std::span<const double> w,
+                                 std::span<double> out) const override;
 
  private:
   const data::Dataset& dataset_;
@@ -80,6 +112,9 @@ class LeastSquaresExampleSource final : public UnitGradientSource {
                      std::span<double> out) const override;
   void accumulate_unit_gradient(std::size_t unit, std::span<const double> w,
                                 std::span<double> out) const override;
+  void accumulate_units_gradient(std::span<const std::size_t> units,
+                                 std::span<const double> w,
+                                 std::span<double> out) const override;
 
  private:
   const data::Dataset& dataset_;
@@ -103,6 +138,9 @@ class GroupedBatchSource final : public UnitGradientSource {
                      std::span<double> out) const override;
   void accumulate_unit_gradient(std::size_t unit, std::span<const double> w,
                                 std::span<double> out) const override;
+  void accumulate_units_gradient(std::span<const std::size_t> units,
+                                 std::span<const double> w,
+                                 std::span<double> out) const override;
 
  private:
   const data::Dataset& dataset_;

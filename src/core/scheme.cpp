@@ -10,4 +10,11 @@ std::size_t Collector::decode_partial_sum(std::span<double>) const {
   return 0;
 }
 
+void Scheme::encode_into(std::size_t worker, const UnitGradientSource& source,
+                         std::span<const double> w, comm::Message& out) const {
+  comm::Message msg = encode(worker, source, w);
+  out.meta = std::move(msg.meta);
+  out.payload = std::move(msg.payload);
+}
+
 }  // namespace coupon::core

@@ -140,6 +140,33 @@ class Scheme {
                                const UnitGradientSource& source,
                                std::span<const double> w) const = 0;
 
+  /// Scratch-reusing variant of `encode`: writes worker `i`'s message into
+  /// `out`, reusing `out.meta`/`out.payload` capacity so a warm caller
+  /// performs zero allocations. Produces bytes identical to `encode` (same
+  /// meta, same payload, same floating-point summation order); only
+  /// `meta`/`payload` are scheme-owned — routing fields (`source`, `dest`,
+  /// `tag`, `iteration`) are left for the caller. The base default
+  /// forwards to `encode` so out-of-tree schemes keep working; all in-tree
+  /// schemes override it with an allocation-free body.
+  virtual void encode_into(std::size_t worker, const UnitGradientSource& source,
+                           std::span<const double> w, comm::Message& out) const;
+
+  /// If several workers provably produce bitwise-identical messages (same
+  /// meta, same payload for any `w`), returns a group id in
+  /// [0, num_encode_groups()) shared exactly by those workers — e.g. all
+  /// BCC workers holding the same batch, all FR workers of one block. The
+  /// provider then encodes each group once per iteration and reuses the
+  /// bytes. Returns nullopt (the default) when every worker's message is
+  /// distinct or the scheme offers no such guarantee.
+  virtual std::optional<std::size_t> encode_group(std::size_t worker) const {
+    (void)worker;
+    return std::nullopt;
+  }
+
+  /// Number of distinct `encode_group` ids (0 when encode_group always
+  /// returns nullopt).
+  virtual std::size_t num_encode_groups() const { return 0; }
+
   /// Size, in gradient units, of worker `i`'s message (used by the
   /// simulator for transfer-time modelling without encoding).
   virtual double message_units(std::size_t worker) const = 0;

@@ -172,16 +172,22 @@ SgcScheme::SgcScheme(std::size_t num_workers, std::size_t load,
 comm::Message SgcScheme::encode(std::size_t worker,
                                 const UnitGradientSource& source,
                                 std::span<const double> w) const {
-  COUPON_ASSERT(worker < num_workers());
-  COUPON_ASSERT(source.num_units() == num_units());
   comm::Message msg;
   msg.tag = comm::kTagGradient;
-  msg.meta = {static_cast<std::int64_t>(worker)};
-  msg.payload.assign(source.dim(), 0.0);
-  for (std::size_t unit : placement_.worker(worker)) {
-    source.accumulate_unit_gradient(unit, w, msg.payload);
-  }
+  encode_into(worker, source, w, msg);
   return msg;
+}
+
+void SgcScheme::encode_into(std::size_t worker,
+                            const UnitGradientSource& source,
+                            std::span<const double> w,
+                            comm::Message& out) const {
+  COUPON_ASSERT(worker < num_workers());
+  COUPON_ASSERT(source.num_units() == num_units());
+  out.meta.assign(1, static_cast<std::int64_t>(worker));
+  out.payload.assign(source.dim(), 0.0);
+  source.accumulate_units_gradient(placement_.worker(worker), w,
+                                   out.payload);
 }
 
 std::vector<std::int64_t> SgcScheme::message_meta(std::size_t worker) const {

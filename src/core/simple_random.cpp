@@ -121,20 +121,28 @@ SimpleRandomScheme::SimpleRandomScheme(std::size_t num_workers,
 comm::Message SimpleRandomScheme::encode(std::size_t worker,
                                          const UnitGradientSource& source,
                                          std::span<const double> w) const {
+  comm::Message msg;
+  msg.tag = comm::kTagGradient;
+  encode_into(worker, source, w, msg);
+  return msg;
+}
+
+void SimpleRandomScheme::encode_into(std::size_t worker,
+                                     const UnitGradientSource& source,
+                                     std::span<const double> w,
+                                     comm::Message& out) const {
   COUPON_ASSERT(worker < num_workers());
   COUPON_ASSERT(source.num_units() == num_units());
   const auto& units = placement_.worker(worker);
   const std::size_t dim = source.dim();
-  comm::Message msg;
-  msg.tag = comm::kTagGradient;
-  msg.meta.reserve(units.size());
-  msg.payload.assign(units.size() * dim, 0.0);
+  out.meta.clear();
+  out.meta.reserve(units.size());
+  out.payload.assign(units.size() * dim, 0.0);
   for (std::size_t k = 0; k < units.size(); ++k) {
-    msg.meta.push_back(static_cast<std::int64_t>(units[k]));
+    out.meta.push_back(static_cast<std::int64_t>(units[k]));
     source.unit_gradient(units[k], w,
-                         std::span<double>(msg.payload).subspan(k * dim, dim));
+                         std::span<double>(out.payload).subspan(k * dim, dim));
   }
-  return msg;
 }
 
 std::vector<std::int64_t> SimpleRandomScheme::message_meta(

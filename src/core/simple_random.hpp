@@ -27,6 +27,9 @@ class SimpleRandomScheme final : public Scheme {
   /// r * p doubles — r gradient units.
   comm::Message encode(std::size_t worker, const UnitGradientSource& source,
                        std::span<const double> w) const override;
+  void encode_into(std::size_t worker, const UnitGradientSource& source,
+                   std::span<const double> w,
+                   comm::Message& out) const override;
 
   double message_units(std::size_t worker) const override {
     return static_cast<double>(placement_.worker(worker).size());

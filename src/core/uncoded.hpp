@@ -23,6 +23,9 @@ class UncodedScheme final : public Scheme {
 
   comm::Message encode(std::size_t worker, const UnitGradientSource& source,
                        std::span<const double> w) const override;
+  void encode_into(std::size_t worker, const UnitGradientSource& source,
+                   std::span<const double> w,
+                   comm::Message& out) const override;
   double message_units(std::size_t) const override { return 1.0; }
   std::vector<std::int64_t> message_meta(std::size_t worker) const override {
     return {static_cast<std::int64_t>(worker)};

@@ -78,6 +78,20 @@ class ProcessRuntime final : public Runtime {
 std::vector<RunRecord> run_simulated_batch(
     std::span<const ExperimentConfig> configs);
 
+/// Executes a group of simulated *training* cells through one
+/// `engine::BatchedTrainKernel` pass — the training-path sibling of
+/// `run_simulated_batch` for multi-seed convergence grids.
+/// Requirements: every config must be runnable by
+/// `SimulatedRuntime::run` with `train` on, and all configs must share
+/// one model dimension (`features`). Per-cell setup (seeded RNG,
+/// workload generation, scheme construction, optimizer) matches
+/// `SimulatedRuntime::run`'s train branch exactly and each cell keeps
+/// its own RNG stream, provider, and optimizer, so the returned records
+/// are bit-identical to running each config through the runtime one at
+/// a time.
+std::vector<RunRecord> run_simulated_train_batch(
+    std::span<const ExperimentConfig> configs);
+
 /// Builds the named runtime via RuntimeRegistry ("sim"/"simulated"/
 /// "simulate", "threaded"/"thread"/"threads", "process"/"processes"/
 /// "proc"); nullptr for an unknown name.

@@ -140,18 +140,21 @@ std::vector<RunRecord> run_sweep(const SweepPlan& plan,
                                  const SweepOptions& options) {
   const std::vector<SweepCell> cells = expand_plan(plan);
 
-  // Work-item planning: when the runtime batches timing-only simulated
-  // cells (RuntimeCapabilities::batches_sim_cells) and the plan records
-  // no traces and trains nothing, consecutive same-n cells are grouped
-  // into one BatchedKernel pass (run_simulated_batch) of up to
-  // `options.sim_batch` cells. Batched or not, every cell's RNG stream
-  // is seeded from its own config, so the records — and therefore the
-  // sink bytes — are identical for any batch size and thread count.
+  // Work-item planning: when the runtime batches simulated cells and the
+  // plan records no traces, consecutive same-n cells are grouped into one
+  // lockstep kernel pass of up to `options.sim_batch` cells — timing-only
+  // plans through BatchedKernel (run_simulated_batch, needs
+  // RuntimeCapabilities::batches_sim_cells), training plans through
+  // BatchedTrainKernel (run_simulated_train_batch, needs
+  // batches_train_cells). Batched or not, every cell's RNG stream is
+  // seeded from its own config, so the records — and therefore the sink
+  // bytes — are identical for any batch size and thread count.
   const RuntimeEntry* runtime =
       RuntimeRegistry::instance().find(plan.base.runtime);
-  const bool batchable = runtime != nullptr &&
-                         runtime->caps.batches_sim_cells && !plan.base.train &&
-                         !plan.base.record_trace && options.sim_batch > 1;
+  const bool batchable =
+      runtime != nullptr && !plan.base.record_trace && options.sim_batch > 1 &&
+      (plan.base.train ? runtime->caps.batches_train_cells
+                       : runtime->caps.batches_sim_cells);
   struct Item {
     std::size_t first = 0;
     std::size_t count = 1;
@@ -189,7 +192,8 @@ std::vector<RunRecord> run_sweep(const SweepPlan& plan,
     for (std::size_t k = 0; k < item.count; ++k) {
       configs.push_back(cells[item.first + k].config);
     }
-    return run_simulated_batch(configs);
+    return plan.base.train ? run_simulated_train_batch(configs)
+                           : run_simulated_batch(configs);
   };
 
   // Serial path: run in item order, stream as we go. This is also the

@@ -75,10 +75,13 @@ struct SweepOptions {
   /// Optional streaming consumer; receives records in cell order.
   RecordSink* sink = nullptr;
   /// Maximum number of consecutive same-n cells grouped into one
-  /// `simulate::BatchedKernel` pass (`run_simulated_batch`) when the
-  /// runtime advertises `batches_sim_cells` and the plan is timing-only
-  /// (train and record_trace off). Batching amortizes RNG, sort, and
-  /// memory traffic across cells and is bit-identical to cell-at-a-time
+  /// lockstep kernel pass when the plan records no traces and the
+  /// runtime advertises the matching capability: timing-only plans go
+  /// through `simulate::BatchedKernel` (`run_simulated_batch`, needs
+  /// `batches_sim_cells`), training plans through
+  /// `engine::BatchedTrainKernel` (`run_simulated_train_batch`, needs
+  /// `batches_train_cells`). Batching amortizes RNG, sort, and memory
+  /// traffic across cells and is bit-identical to cell-at-a-time
   /// execution; 1 disables it. Batches also bound threaded parallelism
   /// (one batch = one pool task), so leave this modest.
   std::size_t sim_batch = 8;

@@ -1,0 +1,63 @@
+#include "engine/batched_train.hpp"
+
+#include <span>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace coupon::engine {
+
+BatchedTrainKernel::BatchedTrainKernel(std::vector<BatchedTrainCell> cells) {
+  COUPON_ASSERT_MSG(!cells.empty(),
+                    "BatchedTrainKernel needs at least one cell");
+  dim_ = cells.front().source->dim();
+  for (const BatchedTrainCell& cell : cells) {
+    COUPON_ASSERT(cell.scheme != nullptr && cell.source != nullptr &&
+                  cell.optimizer != nullptr && cell.cluster != nullptr);
+    COUPON_ASSERT_MSG(cell.source->dim() == dim_,
+                      "BatchedTrainKernel cells must share one model dim");
+  }
+
+  // The arena must be sized before any TrainLoop captures a row span, and
+  // cells_ must never reallocate after a provider captures a cell's RNG —
+  // hence the reserve + single pass.
+  grad_arena_.assign(cells.size() * dim_, 0.0);
+  cells_.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    cells_.push_back(CellState{std::move(cells[c]), nullptr, nullptr});
+    CellState& state = cells_.back();
+    state.provider = std::make_unique<SimulatedProvider>(
+        *state.cell.scheme, *state.cell.source, state.cell.cluster,
+        state.cell.rng);
+    state.loop = std::make_unique<TrainLoop>(
+        *state.cell.scheme, *state.cell.source, *state.provider,
+        *state.cell.optimizer, state.cell.options,
+        std::span<double>(grad_arena_).subspan(c * dim_, dim_));
+  }
+}
+
+std::vector<TrainReport> BatchedTrainKernel::run() {
+  // Iteration-major, cell-minor: every live cell advances one iteration
+  // before any cell advances two. Cells are independent (own RNG, own
+  // provider/collector/optimizer state), so this ordering is purely a
+  // locality choice and the trajectories match sequential runs bit for
+  // bit.
+  bool any_live = true;
+  while (any_live) {
+    any_live = false;
+    for (CellState& state : cells_) {
+      if (!state.loop->done()) {
+        state.loop->step();
+        any_live = any_live || !state.loop->done();
+      }
+    }
+  }
+  std::vector<TrainReport> reports;
+  reports.reserve(cells_.size());
+  for (CellState& state : cells_) {
+    reports.push_back(state.loop->take_report());
+  }
+  return reports;
+}
+
+}  // namespace coupon::engine

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file batched_train.hpp
+/// Lockstep multi-seed training kernel (DESIGN.md §12).
+///
+/// The simulate layer's `BatchedKernel` carries many timing-only sweep
+/// cells through one iteration-major pass so a seed-replicated grid walks
+/// memory sequentially. This is its training-path sibling: C same-shape
+/// *training* runs (typically one scheme at several seeds) advance in
+/// lockstep, one `TrainLoop::step()` per cell per iteration, with every
+/// cell's per-iteration gradient living in one flat C x p arena row.
+///
+/// Determinism: each cell owns its RNG stream, provider, collector, and
+/// optimizer, so interleaving cells cannot perturb any cell's draws or
+/// floats — `run()` is bit-identical to training every cell sequentially
+/// through its own `SimulatedProvider` + `TrainingEngine`, in any order.
+/// The driver's batched-train test pins that equivalence byte-for-byte.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/gradient_source.hpp"
+#include "core/scheme.hpp"
+#include "engine/simulated_provider.hpp"
+#include "engine/training_engine.hpp"
+#include "opt/optimizer.hpp"
+#include "simulate/cluster_config.hpp"
+#include "stats/rng.hpp"
+
+namespace coupon::engine {
+
+/// One cell of a `BatchedTrainKernel` run: a (scheme, source, cluster,
+/// RNG stream, optimizer, options) tuple positioned exactly where a
+/// sequential `SimulatedProvider` construction would start drawing —
+/// i.e. `rng` is a copy of the caller's generator *after* scheme
+/// construction consumed its share. `scheme`, `source`, and `optimizer`
+/// must outlive the kernel; the cluster config is shared. All cells must
+/// share one model dimension p.
+struct BatchedTrainCell {
+  const core::Scheme* scheme = nullptr;
+  const core::UnitGradientSource* source = nullptr;
+  std::shared_ptr<const simulate::ClusterConfig> cluster;
+  stats::Rng rng{0};
+  opt::IterativeOptimizer* optimizer = nullptr;
+  TrainOptions options;
+};
+
+/// Advances C training runs in lockstep (iteration-major, cell-minor).
+/// Cells that finish early (stop_at_target, shorter iteration budgets)
+/// simply sit out the remaining rounds.
+class BatchedTrainKernel {
+ public:
+  /// Validates the batch (non-empty, uniform dim) and builds one
+  /// provider + train loop per cell over a flat C x p gradient arena.
+  explicit BatchedTrainKernel(std::vector<BatchedTrainCell> cells);
+
+  std::size_t num_cells() const { return cells_.size(); }
+
+  /// Runs every cell to completion and returns one `TrainReport` per
+  /// cell, in cell order. One-shot: call once per kernel.
+  std::vector<TrainReport> run();
+
+ private:
+  struct CellState {
+    BatchedTrainCell cell;
+    std::unique_ptr<SimulatedProvider> provider;
+    std::unique_ptr<TrainLoop> loop;
+  };
+
+  std::size_t dim_ = 0;
+  std::vector<double> grad_arena_;  ///< flat C x p; cell c owns row c
+  std::vector<CellState> cells_;
+};
+
+}  // namespace coupon::engine

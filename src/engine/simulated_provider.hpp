@@ -2,28 +2,47 @@
 
 /// \file simulated_provider.hpp
 /// Simulated-time `IterationProvider`: the paper's convergence
-/// experiments at simulator speed (DESIGN.md §8).
+/// experiments at simulator speed (DESIGN.md §8, §12).
 ///
 /// Couples the allocation-free `IterationKernel`'s arrival order and
 /// master-ingress timing (simulate/cluster_sim.hpp) with *real*
 /// gradients from a `UnitGradientSource`: each iteration the provider
 /// draws the kernel's (drop, compute-time) schedule, then lazily encodes
-/// a worker's true message — `scheme.encode(worker, source, w)` — only
-/// when the engine actually consumes that arrival. The ingress scan is
-/// the kernel's: each message waits for the serialized master link,
-/// occupies it for its service time, and the iteration ends at the
-/// recovery (or drain) completion.
+/// a worker's true message only when the engine actually consumes that
+/// arrival. The ingress scan is the kernel's: each message waits for the
+/// serialized master link, occupies it for its service time, and the
+/// iteration ends at the recovery (or drain) completion.
 ///
-/// Timing is therefore bit-identical to a timing-only `simulate_run` of
-/// the same (scheme, cluster, seed) — the RNG draw order is the
-/// kernel's — while the weights evolve exactly as the threaded runtime's
-/// would under the same arrival order. A seed fully determines the
+/// The encode path is allocation-free in steady state and avoids
+/// recomputing work within an iteration twice:
+///
+///   * unit gradients flow through a `CachedGradientSource`, so two
+///     workers sharing a unit compute its gradient once per iteration
+///     (bitwise transparent — see cached_gradient_source.hpp);
+///   * schemes whose same-group workers send bitwise-identical messages
+///     (BCC batches, FR blocks — `Scheme::encode_group`) are encoded
+///     once per group per iteration and replayed from a group slot;
+///   * everything else reuses one persistent message buffer through
+///     `Scheme::encode_into`.
+///
+/// `ProviderOptions::cache_encode = false` restores the literal legacy
+/// `scheme.encode` path (fresh message per arrival, no caches); the
+/// equivalence tests drive both and require identical training
+/// trajectories.
+///
+/// Timing is bit-identical to a timing-only `simulate_run` of the same
+/// (scheme, cluster, seed) — the RNG draw order is the kernel's — while
+/// the weights evolve exactly as the threaded runtime's would under the
+/// same arrival order. A seed fully determines the
 /// loss-vs-simulated-seconds curve.
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "comm/message.hpp"
+#include "core/cached_gradient_source.hpp"
 #include "core/gradient_source.hpp"
 #include "core/scheme.hpp"
 #include "engine/training_engine.hpp"
@@ -32,18 +51,35 @@
 
 namespace coupon::engine {
 
+/// Knobs for SimulatedProvider construction.
+struct ProviderOptions {
+  /// Use the cached encode path (gradient memoization + group message
+  /// reuse + encode_into). Off = the legacy fresh-encode-per-arrival
+  /// path, kept for A/B equivalence testing.
+  bool cache_encode = true;
+};
+
 /// Drives training over simulated time. One instance serves one run; the
-/// scheme, source, cluster config, and rng must outlive it.
+/// scheme, source, and rng must outlive it.
 class SimulatedProvider final : public IterationProvider {
  public:
-  /// Validates `cluster` (via make_latency_model) and builds the run's
+  /// Validates `*cluster` (via make_latency_model) and builds the run's
   /// latency-model instance, so stateful models (Markov, trace replay)
   /// keep their cross-iteration state for the whole run. The config is
-  /// copied, so a temporary is fine; scheme/source/rng are referenced
-  /// and must outlive the provider.
+  /// shared, not copied — the batched kernels hand the same ClusterConfig
+  /// to many providers. scheme/source/rng are referenced and must outlive
+  /// the provider.
   SimulatedProvider(const core::Scheme& scheme,
                     const core::UnitGradientSource& source,
-                    simulate::ClusterConfig cluster, stats::Rng& rng);
+                    std::shared_ptr<const simulate::ClusterConfig> cluster,
+                    stats::Rng& rng, ProviderOptions options = {});
+
+  /// Convenience overload copying a by-value config into shared storage,
+  /// so single-run callers can keep passing temporaries.
+  SimulatedProvider(const core::Scheme& scheme,
+                    const core::UnitGradientSource& source,
+                    simulate::ClusterConfig cluster, stats::Rng& rng,
+                    ProviderOptions options = {});
 
   void begin_iteration(std::size_t iteration,
                        std::span<const double> w) override;
@@ -53,19 +89,25 @@ class SimulatedProvider final : public IterationProvider {
  private:
   const core::Scheme& scheme_;
   const core::UnitGradientSource& source_;
-  const simulate::ClusterConfig cluster_;  ///< owned: kernel_ references it
+  std::shared_ptr<const simulate::ClusterConfig> cluster_;
   stats::Rng& rng_;
+  ProviderOptions options_;
+  core::CachedGradientSource cache_;  ///< memoizes unit gradients over source_
   std::unique_ptr<simulate::LatencyModel> model_;
   simulate::IterationKernel kernel_;
 
   // Per-iteration state.
   std::span<const double> w_;  ///< query point, valid through the iteration
-  std::span<const simulate::IterationKernel::Arrival> arrivals_;
+  std::size_t arrival_count_ = 0;  ///< arrivals drawn this iteration
   std::size_t cursor_ = 0;        ///< next arrival to hand out
   double ingress_free_at_ = 0.0;  ///< the serialized link's busy-until
   double max_compute_ = 0.0;      ///< max compute among consumed arrivals
   bool any_consumed_ = false;
-  comm::Message message_;  ///< the last encoded message (view storage)
+  comm::Message message_;  ///< reused encode buffer (view storage)
+  /// Group message cache: one slot per scheme encode group, valid flags
+  /// cleared each begin_iteration. Empty for schemes without groups.
+  std::vector<comm::Message> group_msgs_;
+  std::vector<std::uint8_t> group_valid_;
 };
 
 }  // namespace coupon::engine

@@ -130,6 +130,49 @@ struct TrainReport {
   std::vector<LossPoint> loss_history;  ///< when record_loss_history
 };
 
+/// Stepwise form of the master-side training protocol: construct, call
+/// `step()` until `done()`, then `take_report()`. Each `step()` runs
+/// exactly one iteration of the loop `TrainingEngine::train` runs — the
+/// same statements in the same order, so the trajectory is bitwise
+/// identical. The stepwise seam exists so the batched train kernel can
+/// advance many runs in lockstep and so the allocation tests can observe
+/// per-iteration steady state.
+///
+/// All referenced objects (scheme, source, provider, optimizer, options)
+/// must outlive the loop. When `grad_buffer` is non-empty it is used as
+/// the per-iteration gradient buffer (size = source.dim()) instead of an
+/// internal vector — the batched kernel passes rows of one flat C x p
+/// arena so cells' gradients stay contiguous.
+class TrainLoop {
+ public:
+  TrainLoop(const core::Scheme& scheme, const core::UnitGradientSource& source,
+            IterationProvider& provider, opt::IterativeOptimizer& optimizer,
+            const TrainOptions& options, std::span<double> grad_buffer = {});
+
+  /// Runs one iteration. Precondition: !done().
+  void step();
+
+  /// True once all iterations ran or stop_at_target fired.
+  bool done() const { return done_; }
+
+  /// Finalizes the report (final weights + final_loss) and returns it.
+  /// Call once, after done().
+  TrainReport take_report();
+
+ private:
+  const core::Scheme& scheme_;
+  const core::UnitGradientSource& source_;
+  IterationProvider& provider_;
+  opt::IterativeOptimizer& optimizer_;
+  const TrainOptions& options_;
+  std::unique_ptr<core::Collector> collector_;  ///< reset() per iteration
+  std::vector<double> grad_storage_;  ///< backing when no external buffer
+  std::span<double> grad_;
+  TrainReport report_;
+  std::size_t t_ = 0;
+  bool done_ = false;
+};
+
 /// The master-side iteration protocol, bound to one scheme, one gradient
 /// source, and one provider. Single-use-at-a-time: call `train` from one
 /// thread.
@@ -150,7 +193,6 @@ class TrainingEngine {
   const core::Scheme& scheme_;
   const core::UnitGradientSource& source_;
   IterationProvider& provider_;
-  std::unique_ptr<core::Collector> collector_;  ///< reset() per iteration
 };
 
 /// The serial ground-truth gradient oracle the distributed paths are

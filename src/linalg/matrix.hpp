@@ -32,6 +32,15 @@ class Matrix {
   /// Identity matrix of size n.
   static Matrix identity(std::size_t n);
 
+  /// Reshapes to rows x cols and fills every entry with `value`. Reuses
+  /// the existing storage, so a same-or-smaller reshape never allocates —
+  /// decode scratch matrices rely on this.
+  void resize(std::size_t rows, std::size_t cols, double value = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, value);
+  }
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t size() const { return data_.size(); }

@@ -91,16 +91,23 @@ std::optional<std::vector<double>> solve(const Matrix& a,
   return lu_solve(lu_factor(a), b);
 }
 
-QrFactors qr_factor(Matrix a) {
-  COUPON_ASSERT_MSG(a.rows() >= a.cols(),
-                    "qr_factor requires rows >= cols, got "
-                        << a.rows() << "x" << a.cols());
-  const std::size_t m = a.rows();
-  const std::size_t n = a.cols();
-  QrFactors f{std::move(a), std::vector<double>(n, 0.0), false};
-  Matrix& qr = f.qr;
+namespace {
 
-  std::vector<double> v(m);
+/// Shared core of `qr_factor` and `lstsq_into`: factors `qr` in place
+/// using `v` as reflector scratch. Returns true when rank deficient. The
+/// loop bodies are the arithmetic `qr_factor` has always used, so both
+/// entry points produce bit-identical factors.
+bool qr_factor_inplace(Matrix& qr, std::vector<double>& tau,
+                       std::vector<double>& v) {
+  COUPON_ASSERT_MSG(qr.rows() >= qr.cols(),
+                    "qr_factor requires rows >= cols, got "
+                        << qr.rows() << "x" << qr.cols());
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
+  tau.assign(n, 0.0);
+  v.resize(m);
+  bool rank_deficient = false;
+
   for (std::size_t k = 0; k < n; ++k) {
     // Build the Householder reflector annihilating column k below row k.
     double norm = 0.0;
@@ -108,8 +115,8 @@ QrFactors qr_factor(Matrix a) {
       norm = std::hypot(norm, qr(i, k));
     }
     if (norm < kPivotTol) {
-      f.rank_deficient = true;
-      f.tau[k] = 0.0;
+      rank_deficient = true;
+      tau[k] = 0.0;
       continue;
     }
     const double alpha = qr(k, k) >= 0.0 ? -norm : norm;
@@ -126,12 +133,12 @@ QrFactors qr_factor(Matrix a) {
       return s;
     }();
     if (vnorm2 < kPivotTol * kPivotTol) {
-      f.rank_deficient = true;
-      f.tau[k] = 0.0;
+      rank_deficient = true;
+      tau[k] = 0.0;
       continue;
     }
-    const double tau = 2.0 / vnorm2;
-    f.tau[k] = tau;
+    const double t = 2.0 / vnorm2;
+    tau[k] = t;
 
     // Apply H = I - tau v v^T to the trailing block columns [k, n).
     for (std::size_t c = k; c < n; ++c) {
@@ -139,7 +146,7 @@ QrFactors qr_factor(Matrix a) {
       for (std::size_t i = k; i < m; ++i) {
         s += v[i] * qr(i, c);
       }
-      s *= tau;
+      s *= t;
       for (std::size_t i = k; i < m; ++i) {
         qr(i, c) -= s * v[i];
       }
@@ -152,40 +159,40 @@ QrFactors qr_factor(Matrix a) {
     }
     // Keep tau in the convention where the reflector is
     // H = I - tau_eff u u^T with u = [1, qr(k+1..m, k)]; tau_eff = tau*vk^2.
-    f.tau[k] = tau * vk * vk;
+    tau[k] = t * vk * vk;
   }
-  return f;
+  return rank_deficient;
 }
 
-std::optional<std::vector<double>> qr_solve(const QrFactors& factors,
-                                            std::span<const double> b) {
-  if (factors.rank_deficient) {
-    return std::nullopt;
-  }
-  const Matrix& qr = factors.qr;
+/// Shared core of `qr_solve` and `lstsq_into`: applies the reflectors to
+/// `b` (via scratch `y`) and back-substitutes into `x`. Returns false on a
+/// numerically-singular R diagonal.
+bool qr_solve_inplace(const Matrix& qr, std::span<const double> tau,
+                      std::span<const double> b, std::vector<double>& y,
+                      std::span<double> x) {
   const std::size_t m = qr.rows();
   const std::size_t n = qr.cols();
   COUPON_ASSERT(b.size() == m);
-  std::vector<double> y(b.begin(), b.end());
+  COUPON_ASSERT(x.size() == n);
+  y.assign(b.begin(), b.end());
 
   // y = Q^T b: apply reflectors in order.
   for (std::size_t k = 0; k < n; ++k) {
-    const double tau = factors.tau[k];
-    if (tau == 0.0) {
+    const double t = tau[k];
+    if (t == 0.0) {
       continue;
     }
     double s = y[k];
     for (std::size_t i = k + 1; i < m; ++i) {
       s += qr(i, k) * y[i];
     }
-    s *= tau;
+    s *= t;
     y[k] -= s;
     for (std::size_t i = k + 1; i < m; ++i) {
       y[i] -= s * qr(i, k);
     }
   }
   // Back substitution on R x = y[0..n).
-  std::vector<double> x(n);
   for (std::size_t kk = n; kk > 0; --kk) {
     const std::size_t k = kk - 1;
     double s = y[k];
@@ -194,9 +201,31 @@ std::optional<std::vector<double>> qr_solve(const QrFactors& factors,
     }
     const double rkk = qr(k, k);
     if (std::abs(rkk) < kPivotTol) {
-      return std::nullopt;
+      return false;
     }
     x[k] = s / rkk;
+  }
+  return true;
+}
+
+}  // namespace
+
+QrFactors qr_factor(Matrix a) {
+  QrFactors f{std::move(a), {}, false};
+  std::vector<double> v;
+  f.rank_deficient = qr_factor_inplace(f.qr, f.tau, v);
+  return f;
+}
+
+std::optional<std::vector<double>> qr_solve(const QrFactors& factors,
+                                            std::span<const double> b) {
+  if (factors.rank_deficient) {
+    return std::nullopt;
+  }
+  std::vector<double> y;
+  std::vector<double> x(factors.qr.cols());
+  if (!qr_solve_inplace(factors.qr, factors.tau, b, y, x)) {
+    return std::nullopt;
   }
   return x;
 }
@@ -204,6 +233,15 @@ std::optional<std::vector<double>> qr_solve(const QrFactors& factors,
 std::optional<std::vector<double>> lstsq(const Matrix& a,
                                          std::span<const double> b) {
   return qr_solve(qr_factor(a), b);
+}
+
+bool lstsq_into(const Matrix& a, std::span<const double> b,
+                std::span<double> x, LstsqWorkspace& ws) {
+  ws.qr = a;  // vector copy-assignment reuses ws.qr's storage
+  if (qr_factor_inplace(ws.qr, ws.tau, ws.v)) {
+    return false;
+  }
+  return qr_solve_inplace(ws.qr, ws.tau, b, ws.y, x);
 }
 
 std::optional<Matrix> cholesky(const Matrix& a) {

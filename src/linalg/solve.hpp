@@ -56,6 +56,22 @@ std::optional<std::vector<double>> qr_solve(const QrFactors& factors,
 std::optional<std::vector<double>> lstsq(const Matrix& a,
                                          std::span<const double> b);
 
+/// Scratch for `lstsq_into`: factor storage and solve temporaries reused
+/// across calls, so a warm same-shape solve performs zero allocations.
+struct LstsqWorkspace {
+  Matrix qr;              ///< factor storage (copy of A, factored in place)
+  std::vector<double> tau;
+  std::vector<double> v;  ///< Householder reflector scratch
+  std::vector<double> y;  ///< Q^T b scratch
+};
+
+/// Workspace-reusing least squares: solves min_x ||A x - b||_2 into `x`
+/// (size A.cols()), producing bits identical to `lstsq` (same
+/// factorization and substitution arithmetic, in the same order). Returns
+/// false when A is numerically rank deficient.
+bool lstsq_into(const Matrix& a, std::span<const double> b,
+                std::span<double> x, LstsqWorkspace& ws);
+
 /// Cholesky factorization A = L L^T of a symmetric positive-definite
 /// matrix (lower triangle returned). Returns nullopt if not SPD.
 std::optional<Matrix> cholesky(const Matrix& a);

@@ -7,39 +7,6 @@
 
 namespace coupon::linalg {
 
-double dot(std::span<const double> x, std::span<const double> y) {
-  COUPON_ASSERT(x.size() == y.size());
-  // Four-way unrolled accumulation: measurably faster than the naive loop
-  // at -O2 and keeps rounding deterministic (fixed association order).
-  const std::size_t n = x.size();
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += x[i] * y[i];
-    s1 += x[i + 1] * y[i + 1];
-    s2 += x[i + 2] * y[i + 2];
-    s3 += x[i + 3] * y[i + 3];
-  }
-  for (; i < n; ++i) {
-    s0 += x[i] * y[i];
-  }
-  return (s0 + s1) + (s2 + s3);
-}
-
-void axpy(double alpha, std::span<const double> x, std::span<double> y) {
-  COUPON_ASSERT(x.size() == y.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    y[i] += alpha * x[i];
-  }
-}
-
-void scal(double alpha, std::span<double> x) {
-  for (double& v : x) {
-    v *= alpha;
-  }
-}
-
 double nrm2(std::span<const double> x) {
   // Scaled accumulation to avoid overflow/underflow for extreme inputs.
   double scale = 0.0;
@@ -65,15 +32,6 @@ double asum_signed(std::span<const double> x) {
     s += v;
   }
   return s;
-}
-
-void copy(std::span<const double> x, std::span<double> y) {
-  COUPON_ASSERT(x.size() == y.size());
-  std::copy(x.begin(), x.end(), y.begin());
-}
-
-void fill(std::span<double> x, double value) {
-  std::fill(x.begin(), x.end(), value);
 }
 
 void add(std::span<const double> a, std::span<const double> b,

@@ -56,11 +56,85 @@ void partial_gradient_sum(const data::Dataset& dataset,
   if (!accumulate) {
     linalg::fill(out, 0.0);
   }
-  for (std::size_t j : indices) {
-    COUPON_ASSERT(j < dataset.num_examples());
-    const double margin = dataset.y[j] * linalg::dot(dataset.x.row(j), w);
-    const double coef = -dataset.y[j] * sigmoid(-margin);
-    linalg::axpy(coef, dataset.x.row(j), out);
+  // Two passes per block, in the original example order: first every
+  // margin/coefficient (reads of w and x only), then the axpy
+  // accumulation into `out`. Each example's dot, sigmoid, and slot in
+  // the running sum are untouched, so the split changes no FP
+  // association — it only separates the long-latency sigmoid chain from
+  // the accumulation chain, which measures ~20% faster on the training
+  // bench. The fixed-size block keeps the coefficient scratch on the
+  // stack (this function must stay allocation-free; it sits on the
+  // per-iteration encode path).
+  // Row access goes through the matrix base pointer (public data() view)
+  // rather than row(): at ~20ns per example the bounds branch per row()
+  // call is measurable, and j is debug-checked here already.
+  const std::size_t p = dataset.num_features();
+  const double* const xbase = dataset.x.data().data();
+  constexpr std::size_t kBlock = 64;
+  double coefs[kBlock];
+  for (std::size_t base = 0; base < indices.size(); base += kBlock) {
+    const std::size_t len = std::min(kBlock, indices.size() - base);
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::size_t j = indices[base + k];
+      COUPON_DCHECK(j < dataset.num_examples());
+      const std::span<const double> row{xbase + j * p, p};
+      const double margin = dataset.y[j] * linalg::dot(row, w);
+      coefs[k] = -dataset.y[j] * sigmoid(-margin);
+    }
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::size_t j = indices[base + k];
+      linalg::axpy(coefs[k], {xbase + j * p, p}, out);
+    }
+  }
+}
+
+void partial_gradient_range(const data::Dataset& dataset, std::size_t first,
+                            std::size_t count, std::span<const double> w,
+                            std::span<double> out, bool accumulate) {
+  COUPON_ASSERT(w.size() == dataset.num_features());
+  COUPON_ASSERT(out.size() == dataset.num_features());
+  COUPON_ASSERT(first + count <= dataset.num_examples());
+  if (!accumulate) {
+    linalg::fill(out, 0.0);
+  }
+  // Same block structure (and the same FP chain) as the index form
+  // above, with the coefficient pass further split in two: a pure dot
+  // pass (no calls — the row-dot kernel keeps w in registers across the
+  // whole block) and a sigmoid pass over the stashed dot values. Each
+  // example's dot, sigmoid, and slot in the running sum are unchanged,
+  // so the bits are too.
+  const std::size_t p = dataset.num_features();
+  const double* const xbase = dataset.x.data().data();
+  const double* const y = dataset.y.data();
+  constexpr std::size_t kBlock = 64;
+  double dots[kBlock];
+  double coefs[kBlock];
+  for (std::size_t base = 0; base < count; base += kBlock) {
+    const std::size_t len = std::min(kBlock, count - base);
+    const double* xrow = xbase + (first + base) * p;
+#if COUPON_LINALG_X86_DISPATCH
+    if (!linalg::detail::dot_rows_dispatch(xrow, len, p, w.data(), dots)) {
+#else
+    if (true) {
+#endif
+      for (std::size_t k = 0; k < len; ++k, xrow += p) {
+        dots[k] = linalg::dot({xrow, p}, w);
+      }
+    }
+    for (std::size_t k = 0; k < len; ++k) {
+      const double label = y[first + base + k];
+      const double margin = label * dots[k];
+      coefs[k] = -label * sigmoid(-margin);
+    }
+    xrow = xbase + (first + base) * p;
+#if COUPON_LINALG_X86_DISPATCH
+    if (linalg::detail::axpy_rows_dispatch(coefs, xrow, len, p, out.data())) {
+      continue;
+    }
+#endif
+    for (std::size_t k = 0; k < len; ++k, xrow += p) {
+      linalg::axpy(coefs[k], {xrow, p}, out);
+    }
   }
 }
 

@@ -38,6 +38,16 @@ void partial_gradient_sum(const data::Dataset& dataset,
                           std::span<const double> w, std::span<double> out,
                           bool accumulate = false);
 
+/// As `partial_gradient_sum` over the contiguous index range
+/// [first, first + count) — bit-identical to passing those indices
+/// explicitly, but walks the example rows with one linear pointer
+/// instead of a per-example index load. This is the hot form: batch
+/// partitions slice consecutive examples, so every encode pass over a
+/// merged unit run takes this path (DESIGN.md §12).
+void partial_gradient_range(const data::Dataset& dataset, std::size_t first,
+                            std::size_t count, std::span<const double> w,
+                            std::span<double> out, bool accumulate = false);
+
 /// Single-example partial gradient g_j(w); out is overwritten.
 void partial_gradient(const data::Dataset& dataset, std::size_t j,
                       std::span<const double> w, std::span<double> out);

@@ -96,6 +96,7 @@ void reap_with_deadline(std::vector<pid_t>& pids) {
     }
   }
   stats::Rng rng(seed);
+  comm::Message reply;  // hoisted: encode_into reuses capacity per loop
   for (;;) {
     comm::RecvEvent event = transport->recv();
     if (event.status != comm::RecvStatus::kMessage ||
@@ -114,8 +115,8 @@ void reap_with_deadline(std::vector<pid_t>& pids) {
       ::kill(::getpid(), SIGKILL);
     }
 
-    comm::Message reply =
-        scheme.encode(worker_index, source, event.message.payload);
+    scheme.encode_into(worker_index, source, event.message.payload, reply);
+    reply.tag = comm::kTagGradient;
     reply.dest = 0;
     reply.iteration = event.message.iteration;
 

@@ -49,6 +49,10 @@ void ThreadCluster::worker_loop(std::size_t worker_index,
                                 std::uint64_t seed) {
   const std::size_t rank = worker_index + 1;
   stats::Rng rng(seed);
+  // Hoisted reply buffer: encode_into reuses its meta/payload capacity
+  // across iterations (the move-send empties but the next assign refills
+  // without growing past the first iteration's high-water mark).
+  comm::Message reply;
   for (;;) {
     auto msg = network_.recv(rank);
     if (!msg || msg->tag == comm::kTagShutdown) {
@@ -56,8 +60,8 @@ void ThreadCluster::worker_loop(std::size_t worker_index,
     }
     COUPON_ASSERT(msg->tag == comm::kTagModelBroadcast);
 
-    comm::Message reply =
-        scheme_.encode(worker_index, source_, msg->payload);
+    scheme_.encode_into(worker_index, source_, msg->payload, reply);
+    reply.tag = comm::kTagGradient;
     reply.source = static_cast<std::int32_t>(rank);
     reply.dest = kMasterRank;
     reply.iteration = msg->iteration;

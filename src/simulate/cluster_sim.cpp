@@ -275,6 +275,46 @@ std::span<const IterationKernel::Arrival> IterationKernel::draw_arrivals(
   return {arrivals_.data(), count_};
 }
 
+std::size_t IterationKernel::begin_lazy_arrivals(LatencyModel& model,
+                                                 std::size_t iteration,
+                                                 stats::Rng& rng) {
+  count_ =
+      draw_arrivals_into(arrivals_, loads_, config_, model, iteration, rng);
+  const auto first = arrivals_.begin();
+  lazy_sorted_ = std::min(start_prefix_, count_);
+  if (lazy_sorted_ >= count_) {
+    std::sort(first, first + count_, arrival_less);
+    lazy_sorted_ = count_;
+  } else {
+    std::nth_element(first, first + lazy_sorted_, first + count_,
+                     arrival_less);
+    std::sort(first, first + lazy_sorted_, arrival_less);
+  }
+  return count_;
+}
+
+const IterationKernel::Arrival& IterationKernel::sorted_arrival(
+    std::size_t k) {
+  COUPON_ASSERT(k < count_);
+  // Same geometric extension as scan_selected: [lazy_sorted_, count_)
+  // holds exactly the arrivals ranked >= lazy_sorted_, so selecting
+  // inside it extends the unique sorted order (lazy_sorted_ >= 1 here:
+  // start_prefix_for never returns 0 for a non-empty draw).
+  while (k >= lazy_sorted_) {
+    const auto first = arrivals_.begin();
+    const std::size_t next = std::min(count_, lazy_sorted_ * 2);
+    if (next < count_) {
+      std::nth_element(first + lazy_sorted_, first + next, first + count_,
+                       arrival_less);
+      std::sort(first + lazy_sorted_, first + next, arrival_less);
+    } else {
+      std::sort(first + lazy_sorted_, first + count_, arrival_less);
+    }
+    lazy_sorted_ = next;
+  }
+  return arrivals_[k];
+}
+
 IterationReport IterationKernel::run(LatencyModel& model,
                                      std::size_t iteration, stats::Rng& rng) {
   collector_->reset();

@@ -156,6 +156,22 @@ class IterationKernel {
                                          std::size_t iteration,
                                          stats::Rng& rng);
 
+  /// Lazy variant of `draw_arrivals` for consumers that stop early (the
+  /// simulated provider stops at recovery, typically after a small
+  /// prefix). Draws the iteration's arrivals in the same RNG order but
+  /// sorts only the kernel's selection prefix up front; `sorted_arrival`
+  /// then serves the k-th earliest arrival, extending the sorted prefix
+  /// geometrically exactly like `run`'s selection phase. Unique (time,
+  /// worker) keys make every served prefix bit-identical to the full
+  /// sort's. Returns the number of arrivals this iteration.
+  std::size_t begin_lazy_arrivals(LatencyModel& model, std::size_t iteration,
+                                  stats::Rng& rng);
+
+  /// The k-th earliest arrival of the current lazy iteration. Requires
+  /// `k < begin_lazy_arrivals(...)`; invalidated by the next
+  /// draw_arrivals/begin_lazy_arrivals/run call.
+  const Arrival& sorted_arrival(std::size_t k);
+
   /// Master-ingress occupancy of worker `i`'s message, in seconds
   /// (message_units(i) * unit_transfer_seconds, precomputed per run).
   double service_seconds(std::size_t worker) const {
@@ -186,6 +202,7 @@ class IterationKernel {
   std::vector<Arrival> arrivals_;  ///< reused scratch arena, size n
   std::size_t count_ = 0;          ///< arrivals drawn this iteration
   std::size_t start_prefix_ = 0;   ///< initial sorted-prefix length
+  std::size_t lazy_sorted_ = 0;    ///< sorted-prefix length (lazy mode)
 };
 
 /// Simulates one iteration of distributed GD for `scheme` on a cluster

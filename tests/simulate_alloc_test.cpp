@@ -15,6 +15,10 @@
 #include <new>
 
 #include "core/core.hpp"
+#include "data/synthetic.hpp"
+#include "engine/engine.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/schedule.hpp"
 #include "simulate/simulate.hpp"
 #include "stats/rng.hpp"
 
@@ -222,6 +226,148 @@ TEST(AllocationFree, SimulateRunWithoutTraceOnlyAllocatesSetup) {
   // steady-state allocations. (The CR-style first-iteration capacity
   // growth is scheme-dependent; BCC's count is exactly flat.)
   EXPECT_EQ(count_run(500), setup_cost);
+}
+
+/// Steady-state allocation count of a real training run (DESIGN.md §12):
+/// warm-up steps let the provider's encode buffers, the collector slots,
+/// and the CR decode workspace reach capacity, then every subsequent
+/// `TrainLoop::step` — encode, collect, decode, optimizer update — must
+/// allocate nothing. Loss evaluation stays off: the budget covers the
+/// training path itself.
+std::size_t steady_state_train_allocations(const core::Scheme& scheme,
+                                           const core::UnitGradientSource& source,
+                                           const ClusterConfig& cluster,
+                                           engine::FailurePolicy on_failure,
+                                           std::size_t warmup,
+                                           std::size_t iterations) {
+  stats::Rng rng(0x7341A);
+  engine::SimulatedProvider provider(scheme, source, cluster, rng);
+  opt::GradientDescent optimizer(source.dim(),
+                                 opt::LearningRateSchedule::constant(0.05));
+  engine::TrainOptions options;
+  options.iterations = warmup + iterations;
+  options.on_failure = on_failure;
+  engine::TrainLoop loop(scheme, source, provider, optimizer, options);
+  for (std::size_t t = 0; t < warmup; ++t) {
+    loop.step();
+  }
+  const std::size_t before = g_allocations.load();
+  for (std::size_t t = 0; t < iterations; ++t) {
+    loop.step();
+  }
+  const std::size_t after = g_allocations.load();
+  EXPECT_TRUE(loop.done());
+  return after - before;
+}
+
+TEST(AllocationFree, EverySchemeTrainsIterationsWithoutAllocating) {
+  // The full training path for every registered scheme: real gradients
+  // through the cached source, scheme encode via encode_into, collector
+  // decode, GD update. n = m = 24, r = 4 satisfies every scheme's
+  // structural constraints (m == n for the repetition/gc family, r | n
+  // for FR and gc_nested).
+  core::SchemeConfig config;
+  config.num_workers = 24;
+  config.num_units = 24;
+  config.load = 4;
+  data::SyntheticConfig dconf;
+  dconf.num_features = 12;
+  stats::Rng data_rng(0xDA7A);
+  const data::SyntheticProblem problem =
+      data::generate_linreg(config.num_units, dconf, /*noise_stddev=*/0.2,
+                            data_rng);
+  const core::LeastSquaresExampleSource source(problem.dataset);
+  stats::Rng build_rng(7);
+  for (const char* kind : {"uncoded", "bcc", "simple_random", "cr", "fr",
+                           "gc_cyclic", "sgc", "gc_nested"}) {
+    const auto scheme =
+        core::SchemeRegistry::instance().create(kind, config, build_rng);
+    EXPECT_EQ(steady_state_train_allocations(
+                  *scheme, source, alloc_test_cluster(),
+                  engine::FailurePolicy::kSkipUpdate,
+                  /*warmup=*/3, /*iterations=*/100),
+              0u)
+        << scheme->name();
+  }
+}
+
+TEST(AllocationFree, TrainingWithDropsAndPartialDecodeStaysAllocationFree) {
+  // Message drops force coverage failures; kApplyPartial drives the
+  // decode_partial_sum branch (and the skipped-update branch on empty
+  // iterations). Both must match the happy path's zero budget.
+  core::SchemeConfig config;
+  config.num_workers = 8;
+  config.num_units = 8;
+  config.load = 2;
+  data::SyntheticConfig dconf;
+  dconf.num_features = 12;
+  stats::Rng data_rng(0xD609);
+  const data::SyntheticProblem problem =
+      data::generate_linreg(config.num_units, dconf, /*noise_stddev=*/0.2,
+                            data_rng);
+  const core::LeastSquaresExampleSource source(problem.dataset);
+  auto cluster = alloc_test_cluster();
+  cluster.drop_probability = 0.3;
+  stats::Rng build_rng(11);
+  const auto scheme =
+      core::SchemeRegistry::instance().create("bcc", config, build_rng);
+  for (const auto policy : {engine::FailurePolicy::kSkipUpdate,
+                            engine::FailurePolicy::kApplyPartial}) {
+    EXPECT_EQ(steady_state_train_allocations(*scheme, source, cluster, policy,
+                                             /*warmup=*/3, /*iterations=*/200),
+              0u);
+  }
+}
+
+TEST(AllocationFree, BatchedTrainKernelSteadyStateOnlyAllocatesSetup) {
+  // BatchedTrainKernel's lockstep loop inherits TrainLoop's budget: a
+  // fresh kernel run at 5 iterations and one at 100 must allocate
+  // identically (the C x p arena, providers, and collectors are built at
+  // construction; warm-up growth is bounded by the first iterations,
+  // which both runs share).
+  core::SchemeConfig config;
+  config.num_workers = 24;
+  config.num_units = 24;
+  config.load = 4;
+  data::SyntheticConfig dconf;
+  dconf.num_features = 12;
+  stats::Rng data_rng(0xBA7C);
+  const data::SyntheticProblem problem =
+      data::generate_linreg(config.num_units, dconf, /*noise_stddev=*/0.2,
+                            data_rng);
+  const core::LeastSquaresExampleSource source(problem.dataset);
+  const auto cluster =
+      std::make_shared<const ClusterConfig>(alloc_test_cluster());
+
+  auto count_batched_train = [&](std::size_t iterations) {
+    std::vector<std::unique_ptr<core::Scheme>> schemes;
+    std::vector<std::unique_ptr<opt::IterativeOptimizer>> optimizers;
+    std::vector<engine::BatchedTrainCell> cells;
+    for (std::uint64_t seed : {31u, 32u, 33u, 34u}) {
+      stats::Rng rng(seed);
+      schemes.push_back(
+          core::SchemeRegistry::instance().create("bcc", config, rng));
+      optimizers.push_back(std::make_unique<opt::GradientDescent>(
+          dconf.num_features, opt::LearningRateSchedule::constant(0.05)));
+      engine::BatchedTrainCell cell;
+      cell.scheme = schemes.back().get();
+      cell.source = &source;
+      cell.cluster = cluster;
+      cell.rng = rng;
+      cell.optimizer = optimizers.back().get();
+      cell.options.iterations = iterations;
+      cells.push_back(std::move(cell));
+    }
+    const std::size_t before = g_allocations.load();
+    const auto reports = engine::BatchedTrainKernel(std::move(cells)).run();
+    const std::size_t after = g_allocations.load();
+    EXPECT_EQ(reports.size(), 4u);
+    EXPECT_EQ(reports[0].iterations_run, iterations);
+    return after - before;
+  };
+
+  const std::size_t setup_cost = count_batched_train(5);
+  EXPECT_EQ(count_batched_train(100), setup_cost);
 }
 
 }  // namespace
